@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure: it runs the experiment
+once (``benchmark.pedantic(..., rounds=1)``), prints the paper-style report,
+saves it under ``bench_reports/`` and asserts the qualitative *shape* the
+paper reports (who wins, roughly by how much, where crossovers fall).
+Absolute numbers are simulated seconds, not the paper's wall-clock — see
+DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under bench_reports/."""
+    print()
+    print(f"===== {name} =====")
+    print(text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def settled_mean(result, fraction: float = 0.35) -> float:
+    """Mean latency over the last ``fraction`` of missions (post-tuning)."""
+    series = result.latencies
+    tail = max(1, int(len(series) * fraction))
+    return float(series[-tail:].mean())

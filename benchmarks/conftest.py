@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration."""
+
+import os
+import sys
+
+# Make the sibling _common helpers importable when pytest is run from the
+# repository root.
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    return f"repro benchmarks: REPRO_BENCH_SCALE={scale}"

@@ -1,0 +1,83 @@
+"""Section 7 (text) — brute-force learning approaches are impractical.
+
+The paper evaluates two brute-force alternatives on the balanced workload:
+(1) a model over the *joint* action space (no level-based decomposition)
+and (2) per-level training of *all* levels with no policy propagation. The
+first cannot finish learning in time; the second fails to reach the optimum
+from Level 3 down for lack of samples.
+
+Scaled-down equivalent: run all three Lerp modes for the same mission
+budget and compare convergence and settled latency.
+"""
+
+import numpy as np
+
+from _common import emit_report, settled_mean
+
+from repro.bench import base_config, bench_lerp_config, bench_scale
+from repro.bench.harness import Experiment, SystemSpec, run_experiment
+from repro.workload.uniform import UniformWorkload
+
+
+def run_ablation():
+    scale = bench_scale()
+    config = base_config()
+    workload = UniformWorkload(scale.n_records, lookup_fraction=0.5, seed=29)
+
+    def spec(name, mode):
+        return SystemSpec(
+            name,
+            lambda config: None,
+            initial_policy=1,
+            lerp_config=bench_lerp_config(scale.n_missions, mode=mode),
+        )
+
+    experiment = Experiment(
+        name="bruteforce-ablation",
+        workload=workload,
+        n_missions=scale.n_missions,
+        mission_size=scale.mission_size,
+        base_config=config,
+        systems=[
+            spec("level-based (RusKey)", "level"),
+            spec("joint action space", "joint"),
+            spec("all levels, no propagation", "all-levels"),
+        ],
+    )
+    return run_experiment(experiment)
+
+
+def test_bruteforce_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    settled = {name: settled_mean(result) for name, result in results.items()}
+    lines = ["Brute-force ablation (balanced workload):"]
+    for name, result in results.items():
+        final = result.policy_history[-1]
+        lines.append(
+            f"  {name:>28}: settled latency {settled[name] * 1e3:.4f} ms/op, "
+            f"final policies {final}"
+        )
+    emit_report("bruteforce_ablation", "\n".join(lines))
+
+    level = settled["level-based (RusKey)"]
+    joint = settled["joint action space"]
+    no_propagation = settled["all levels, no propagation"]
+
+    # The level-based model with propagation is at least as good as both
+    # brute-force approaches after the same mission budget.
+    assert level <= joint * 1.05
+    assert level <= no_propagation * 1.05
+
+    # The joint model keeps thrashing policies (it never converges) —
+    # measure policy churn over the final quarter of the run.
+    def churn(result):
+        history = result.policy_history
+        tail = history[-len(history) // 4 :]
+        return sum(
+            1 for a, b in zip(tail[:-1], tail[1:]) if a != b
+        ) / max(1, len(tail) - 1)
+
+    assert churn(results["joint action space"]) > churn(
+        results["level-based (RusKey)"]
+    )

@@ -1,0 +1,122 @@
+"""Figure 10 — flexible transition vs greedy and lazy (micro-benchmark).
+
+A balanced workload with level-granularity compaction; every level starts
+at K=1 and the policy is transformed to K=10 midway through the run. The
+paper reports: greedy causes a huge write-latency spike at the transition;
+lazy keeps paying the old policy's compaction costs long after; flexible
+takes effect immediately with no spike. End-to-end: greedy 51 s, lazy 44 s,
+flexible 40 s — flexible strictly fastest, greedy strictly slowest.
+"""
+
+import numpy as np
+
+from _common import emit_report
+
+from repro.bench import bench_scale
+from repro.config import SystemConfig, TransitionKind
+from repro.core.missions import MissionRunner
+from repro.lsm.tree import LSMTree
+from repro.workload.uniform import UniformWorkload
+
+
+def run_transition_microbench():
+    scale = bench_scale()
+    n_missions = scale.fig10_missions
+    mission_size = scale.fig10_mission_size
+    transition_at = n_missions // 2
+    # The paper's micro-benchmark runs ~1.2x the store's size in operations
+    # (120 M ops over a 100 M-entry store), which makes the greedy
+    # transition's whole-store rewrite a dominant share of the window.
+    # Match that ratio: one record per operation in the window.
+    n_records = n_missions * mission_size
+    workload = UniformWorkload(n_records=n_records, lookup_fraction=0.5, seed=41)
+
+    outcomes = {}
+    for kind in TransitionKind:
+        config = SystemConfig(
+            write_buffer_bytes=scale.write_buffer_bytes,
+            initial_policy=1,
+            seed=13,
+        )
+        tree = LSMTree(config)
+        keys, values = workload.load_records()
+        tree.bulk_load(keys, values, distribute=True)
+        runner = MissionRunner(tree, chunk_size=128)
+        read_series, write_series = [], []
+        for index, mission in enumerate(
+            workload.missions(n_missions, mission_size)
+        ):
+            transition_cost = 0.0
+            if index == transition_at:
+                # set_policies applies deepest-first: each level's data moves
+                # down exactly once under greedy (shallow-first application
+                # would re-merge level 1's data through every level below,
+                # consolidating the whole store into one run — an artifact).
+                # The transition runs between missions, so its simulated cost
+                # is attributed to the transition mission's write latency
+                # explicitly (this is greedy's write stall).
+                before = tree.clock.now
+                tree.set_policies([10] * tree.n_levels, kind)
+                transition_cost = tree.clock.now - before
+            stats = runner.run(mission)
+            read_series.append(stats.read_time)
+            write_series.append(stats.write_time + transition_cost)
+        outcomes[kind.value] = {
+            "read": np.asarray(read_series),
+            "write": np.asarray(write_series),
+            "total": float(sum(read_series) + sum(write_series)),
+        }
+    return outcomes, transition_at
+
+
+def test_fig10(benchmark):
+    outcomes, transition_at = benchmark.pedantic(
+        run_transition_microbench, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Figure 10: K=1 -> K=10 transition at mission "
+        f"{transition_at} (simulated seconds per mission)",
+        f"{'mission':>8} | "
+        + " | ".join(f"{k + ' write':>16}" for k in outcomes)
+        + " | "
+        + " | ".join(f"{k + ' read':>15}" for k in outcomes),
+    ]
+    n = len(next(iter(outcomes.values()))["write"])
+    for i in range(0, n, max(1, n // 24)):
+        writes = " | ".join(f"{o['write'][i]:16.4f}" for o in outcomes.values())
+        reads = " | ".join(f"{o['read'][i]:15.4f}" for o in outcomes.values())
+        lines.append(f"{i:>8} | {writes} | {reads}")
+    lines.append("")
+    lines.append("End-to-end totals (paper: greedy 51s, lazy 44s, flexible 40s):")
+    for name, outcome in outcomes.items():
+        lines.append(f"  {name:>10}: {outcome['total']:8.2f} s")
+    emit_report("fig10_transition", "\n".join(lines))
+
+    greedy = outcomes["greedy"]
+    lazy = outcomes["lazy"]
+    flexible = outcomes["flexible"]
+
+    # Shape 1: flexible is fastest end-to-end, greedy slowest
+    # (paper: 40 s < 44 s < 51 s).
+    assert flexible["total"] < lazy["total"]
+    assert lazy["total"] < greedy["total"]
+    # Greedy's transition-mission write stall towers over flexible's.
+    assert greedy["write"][transition_at] > 3.0 * max(
+        flexible["write"][transition_at], 1e-12
+    )
+
+    # Shape 2: greedy pays a write spike at the transition mission.
+    before = greedy["write"][transition_at - 6 : transition_at].mean()
+    spike = greedy["write"][transition_at : transition_at + 1].max()
+    assert spike > 2.0 * before
+
+    # Shape 3: flexible has no such spike.
+    flexible_before = flexible["write"][transition_at - 6 : transition_at].mean()
+    flexible_at = flexible["write"][transition_at]
+    assert flexible_at < 2.0 * max(flexible_before, 1e-12)
+
+    # Shape 4: after the transition, lazy keeps paying more write time than
+    # flexible (its deep levels still run the old aggressive policy).
+    after = slice(transition_at + 2, n)
+    assert lazy["write"][after].sum() > flexible["write"][after].sum()

@@ -1,0 +1,61 @@
+"""Figure 12 — RusKey vs greedy threshold heuristics on the dynamic
+workload.
+
+Six greedy variants (symmetric thresholds 50/50, 33/67, 25/75, 10/90 and
+biased 25/50, 50/75) adjust K by ±1 whenever a level's observed lookup
+share crosses a threshold. Paper shape: some variants do fine on the
+extreme sessions but none is robust across all five; RusKey achieves the
+best average rank (1.2 vs 1.8+ for the best greedy).
+"""
+
+import numpy as np
+
+from _common import emit_report
+
+from repro.bench import (
+    SESSION_NAMES,
+    dynamic_workload_experiment,
+    format_latency_series,
+    format_ranking_table,
+    run_experiment,
+    session_bounds,
+    session_rankings,
+)
+
+
+def run_greedy_comparison():
+    experiment = dynamic_workload_experiment(include_greedy=True)
+    results = run_experiment(experiment)
+    bounds = session_bounds(experiment.workload)
+    return results, bounds
+
+
+def test_fig12(benchmark):
+    results, bounds = benchmark.pedantic(run_greedy_comparison, rounds=1, iterations=1)
+    ranks = session_rankings(results, bounds, settle_fraction=0.5)
+    averages = {name: float(np.mean(r)) for name, r in ranks.items()}
+
+    report = [
+        format_latency_series(
+            results,
+            title="Figure 12: RusKey vs greedy thresholds (latency per query, ms)",
+        ),
+        "",
+        format_ranking_table(
+            ranks, SESSION_NAMES, title="Figure 12 right: performance rankings"
+        ),
+    ]
+    emit_report("fig12_greedy", "\n".join(report))
+
+    # RusKey achieves the best (or tied-best) average rank.
+    best = min(averages.values())
+    assert averages["RusKey"] <= best + 0.21, f"averages: {averages}"
+
+    # And no greedy variant is uniformly better across all sessions.
+    for name, rank_list in ranks.items():
+        if name == "RusKey":
+            continue
+        assert not all(
+            r_greedy < r_ruskey
+            for r_greedy, r_ruskey in zip(rank_list, ranks["RusKey"])
+        )

@@ -1,0 +1,64 @@
+"""Figure 6 — RusKey self-navigates to the optimal design on static
+workloads (uniform Bloom scheme).
+
+Three panels: read-heavy (90 % lookups), write-heavy (10 %), balanced
+(50 %). RusKey starts at leveling (K=1) and must tune itself to
+near-optimal; each static baseline is optimal on at most one panel.
+Expected shapes (paper): Aggressive wins read-heavy, Lazy wins write-heavy,
+RusKey tracks the winner everywhere and beats all baselines on balanced.
+"""
+
+import pytest
+
+from _common import emit_report, settled_mean
+
+from repro.bench import (
+    format_latency_series,
+    format_policy_trace,
+    format_summary,
+    run_experiment,
+    static_workload_experiment,
+)
+
+
+def run_panel(mix):
+    experiment = static_workload_experiment(mix)
+    return run_experiment(experiment)
+
+
+@pytest.mark.parametrize("mix", ["read-heavy", "write-heavy", "balanced"])
+def test_fig6(benchmark, mix):
+    results = benchmark.pedantic(run_panel, args=(mix,), rounds=1, iterations=1)
+
+    report = [
+        format_latency_series(results, title=f"Figure 6 ({mix}): latency per query (ms)"),
+        "",
+        format_policy_trace(
+            results["RusKey"], title="RusKey compaction policy trace (top panel)"
+        ),
+        "",
+        format_summary(results, title="Full-run mean latency (includes tuning phase)"),
+    ]
+    emit_report(f"fig6_{mix}", "\n".join(report))
+
+    settled = {name: settled_mean(result) for name, result in results.items()}
+    baselines = {k: v for k, v in settled.items() if k != "RusKey"}
+    best = min(baselines.values())
+    worst = max(baselines.values())
+
+    # RusKey is near the best baseline on every panel (paper: "near-optimal
+    # performance across all workloads"), and far from the worst.
+    assert settled["RusKey"] <= best * 1.30
+    assert worst / best > 1.15, "panel should discriminate between baselines"
+
+    if mix == "read-heavy":
+        assert min(baselines, key=baselines.get) == "K=1 (Aggressive)"
+        final_k1 = results["RusKey"].policy_history[-1][0]
+        assert final_k1 <= 3, "RusKey should tune to an aggressive policy"
+    elif mix == "write-heavy":
+        assert min(baselines, key=baselines.get) == "K=10 (Lazy)"
+        final_k1 = results["RusKey"].policy_history[-1][0]
+        assert final_k1 >= 5, "RusKey should tune to a lazy policy"
+    else:  # balanced: RusKey picks an intermediate-to-lazy policy
+        final_k1 = results["RusKey"].policy_history[-1][0]
+        assert 2 <= final_k1 <= 10

@@ -1,0 +1,78 @@
+"""Table 2 — transition costs and delays of greedy / lazy / flexible.
+
+Regenerates both halves of the paper's Table 2:
+
+* the *analytical* case study (T=10, B=4096, E=1024, C=1024000, f=0.01,
+  K=5 → K'=4, x=γ=1/2) whose additional costs are 125 / 3.75 / 2.5 I/Os;
+* a *simulated* validation that the immediate transition cost is positive
+  for greedy and exactly zero for lazy and flexible on a live tree.
+"""
+
+import pytest
+
+from _common import emit_report
+
+from repro.config import SystemConfig, TransitionKind
+from repro.cost import paper_case_study
+from repro.lsm.tree import LSMTree
+
+
+def build_loaded_tree(policy=5):
+    config = SystemConfig(
+        write_buffer_bytes=64 * 1024, initial_policy=policy, seed=11
+    )
+    tree = LSMTree(config)
+    for i in range(4000):
+        tree.put(i, i)
+    return tree
+
+
+def measure_immediate_costs():
+    """Simulated immediate I/O cost of switching every level K=5 -> K=4."""
+    measured = {}
+    for kind in TransitionKind:
+        tree = build_loaded_tree(policy=5)
+        io_before = tree.disk.counters.total
+        clock_before = tree.clock.now
+        for level in list(tree.levels):
+            tree.set_policy(level.level_no, 4, kind)
+        measured[kind.value] = {
+            "ios": tree.disk.counters.total - io_before,
+            "seconds": tree.clock.now - clock_before,
+        }
+    return measured
+
+
+def test_table2(benchmark):
+    analytic = paper_case_study()
+    measured = benchmark.pedantic(measure_immediate_costs, rounds=1, iterations=1)
+
+    lines = ["Analytical case study (paper Table 2, K=5 -> K'=4):"]
+    lines.append(
+        f"{'method':>10} | {'transition I/Os':>16} | {'delay (s)':>10} | "
+        f"{'additional I/Os':>16}"
+    )
+    for name, costs in analytic.items():
+        lines.append(
+            f"{name:>10} | {costs.immediate_ios:16.2f} | "
+            f"{costs.delay_seconds:10.2f} | {costs.additional_ios:16.2f}"
+        )
+    lines.append("")
+    lines.append("Simulated immediate transition cost on a live tree:")
+    for name, values in measured.items():
+        lines.append(f"{name:>10} | {values['ios']:7d} I/Os | {values['seconds']:.6f} s")
+    emit_report("table2_transitions", "\n".join(lines))
+
+    # Paper numbers, exactly.
+    assert analytic["greedy"].additional_ios == pytest.approx(125.0)
+    assert analytic["lazy"].additional_ios == pytest.approx(3.75)
+    assert analytic["flexible"].additional_ios == pytest.approx(2.5)
+    # Structure: only greedy pays an immediate cost; only lazy has delay.
+    assert analytic["flexible"].immediate_ios == 0.0
+    assert analytic["flexible"].delay_seconds == 0.0
+    assert analytic["lazy"].delay_seconds > 0.0
+    # Simulated: greedy moves data now, the others move nothing.
+    assert measured["greedy"]["ios"] > 0
+    assert measured["lazy"]["ios"] == 0
+    assert measured["flexible"]["ios"] == 0
+    assert measured["flexible"]["seconds"] == 0.0

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Cost-model explorer: the white-box analysis behind policy propagation.
+
+Walks through the paper's analytical machinery without running a store:
+
+* Eq. 5 — expected per-operation cost of a level as a function of its
+  compaction policy K, for several workload mixes;
+* the optimal K per mix (the crossover the RL tuner discovers empirically);
+* Monkey FPR allocation and Eq. 4 policy propagation, including the
+  paper's worked example (K1=9, K2=7 -> K3≈3, K4≈1).
+
+Run:  python examples/cost_model_explorer.py
+"""
+
+from repro import BloomScheme, SystemConfig
+from repro.bloom import monkey_allocation, uniform_allocation
+from repro.cost import (
+    level_operation_cost,
+    optimal_policies_whitebox,
+    propagate_policies,
+)
+
+
+def main() -> None:
+    config = SystemConfig()
+    fpr = uniform_allocation(config.bits_per_key, 1)[0]
+
+    print("Eq. 5 — expected cost per operation at one level (microseconds):")
+    mixes = [0.9, 0.5, 0.1]
+    header = f"{'K':>4} | " + " | ".join(f"γ={gamma:>4}" for gamma in mixes)
+    print(header)
+    for policy in range(1, config.size_ratio + 1):
+        cells = []
+        for gamma in mixes:
+            cost = level_operation_cost(
+                policy, fpr, gamma, config.costs,
+                config.size_ratio, config.entry_bytes, config.page_bytes,
+            )
+            cells.append(f"{cost * 1e6:6.2f}")
+        print(f"{policy:>4} | " + " | ".join(cells))
+
+    print("\nWhite-box optimal K per workload mix (uniform Bloom scheme):")
+    for gamma in (0.9, 0.7, 0.5, 0.3, 0.1):
+        print(f"  γ={gamma}: K* = {optimal_policies_whitebox(gamma, 4, config)}")
+
+    print("\nMonkey FPR allocation (budget 4 bits/key, 4 levels, T=10):")
+    for level, fpr_level in enumerate(monkey_allocation(4.0, 4, 10), start=1):
+        print(f"  level {level}: FPR = {fpr_level:.5f}")
+
+    monkey_config = config.with_updates(
+        bloom_scheme=BloomScheme.MONKEY, bits_per_key=4.0
+    )
+    print("\nWhite-box optimal K per level under Monkey (γ=0.5):")
+    print(f"  {optimal_policies_whitebox(0.5, 4, monkey_config)}")
+
+    print("\nEq. 4 propagation — the paper's worked example:")
+    print(f"  learned (K1, K2) = (9, 7)  ->  {propagate_policies(9, 7, 4, 10)}")
+    print(f"  learned (K1, K2) = (5, 5)  ->  {propagate_policies(5, 5, 4, 10)}")
+    print(f"  learned (K1, K2) = (10, 4) ->  {propagate_policies(10, 4, 4, 10)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: a self-tuning RusKey store in a few lines.
+
+Builds a RusKey store (FLSM-tree + Lerp tuner), bulk loads records, runs a
+balanced workload mission-by-mission and shows the store tuning its
+compaction policies online. Also demonstrates the plain key-value API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RusKey, SystemConfig
+from repro.bench import bench_lerp_config
+from repro.workload import UniformWorkload
+
+
+def main() -> None:
+    config = SystemConfig(
+        write_buffer_bytes=64 * 1024,  # small buffer => multi-level tree fast
+        seed=7,
+    )
+    store = RusKey(config)
+
+    # --- plain key-value API ------------------------------------------------
+    store.put(1, 100)
+    store.put(2, 200)
+    store.delete(1)
+    print("get(1) after delete:", store.get(1))
+    print("get(2):", store.get(2))
+    print("range_lookup(0, 10):", store.range_lookup(0, 10))
+
+    # --- mission loop with online tuning ------------------------------------
+    workload = UniformWorkload(n_records=20_000, lookup_fraction=0.5, seed=3)
+    keys, values = workload.load_records()
+    # bench_lerp_config sizes exploration decay so tuning converges within
+    # the requested mission budget.
+    fresh = RusKey(config, lerp_config=bench_lerp_config(120, seed=7))
+    fresh.bulk_load(keys, values, distribute=True)
+
+    print("\nRunning 120 missions of a balanced workload...")
+    for index, mission in enumerate(workload.missions(120, 800)):
+        stats = fresh.run_mission(mission)
+        if index % 20 == 0:
+            print(
+                f"  mission {index:>4}: "
+                f"{stats.latency_per_op * 1e3:.4f} ms/op, "
+                f"policies K = {fresh.policies()}"
+            )
+
+    print("\nFinal compaction policies:", fresh.policies())
+    print(
+        "Mean latency over the last 30 missions: "
+        f"{fresh.mean_latency(last_n=30) * 1e3:.4f} ms/op (simulated)"
+    )
+    print("Tree structure:")
+    for row in fresh.tree.describe():
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

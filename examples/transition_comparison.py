@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Transition comparison: greedy vs lazy vs flexible (paper Figure 10).
+
+Runs the same balanced workload on three identical trees, switches every
+level from K=1 to K=10 midway, and prints the per-mission write latency
+around the transition plus end-to-end totals. The greedy transition pays a
+massive compaction spike; the lazy one keeps the old policy's costs for a
+long tail; the FLSM-tree's flexible transition is free and immediate.
+
+Run:  python examples/transition_comparison.py
+"""
+
+from repro import SystemConfig, TransitionKind
+from repro.core.missions import MissionRunner
+from repro.cost import paper_case_study
+from repro.lsm.tree import LSMTree
+from repro.workload import UniformWorkload
+
+N_MISSIONS = 40
+MISSION_SIZE = 2_000
+TRANSITION_AT = N_MISSIONS // 2
+
+
+def run(kind: TransitionKind):
+    config = SystemConfig(write_buffer_bytes=64 * 1024, initial_policy=1, seed=5)
+    tree = LSMTree(config)
+    # Roughly one record per window operation — the paper's store-to-window
+    # ratio, which makes greedy's whole-store rewrite hurt as in Figure 10.
+    workload = UniformWorkload(
+        n_records=N_MISSIONS * MISSION_SIZE, lookup_fraction=0.5, seed=9
+    )
+    keys, values = workload.load_records()
+    tree.bulk_load(keys, values, distribute=True)
+    runner = MissionRunner(tree, chunk_size=128)
+    writes = []
+    for index, mission in enumerate(workload.missions(N_MISSIONS, MISSION_SIZE)):
+        if index == TRANSITION_AT:
+            for level in list(tree.levels):
+                tree.set_policy(level.level_no, 10, kind)
+        stats = runner.run(mission)
+        writes.append(stats.write_time)
+    return writes, tree.clock.now
+
+
+def main() -> None:
+    print("Analytical Table 2 case study (additional cost in I/Os):")
+    for name, costs in paper_case_study().items():
+        print(
+            f"  {name:>10}: transition={costs.immediate_ios:7.2f}  "
+            f"delay={costs.delay_seconds:5.2f}s  "
+            f"additional={costs.additional_ios:6.2f}"
+        )
+
+    results = {kind.value: run(kind) for kind in TransitionKind}
+
+    print(
+        f"\nPer-mission write latency (simulated s), transition at mission "
+        f"{TRANSITION_AT}:"
+    )
+    print(f"{'mission':>8} | " + " | ".join(f"{k:>10}" for k in results))
+    for i in range(TRANSITION_AT - 3, TRANSITION_AT + 6):
+        row = " | ".join(f"{results[k][0][i]:10.4f}" for k in results)
+        print(f"{i:>8} | {row}")
+
+    print(
+        "\nEnd-to-end simulated time (flexible cheapest; see "
+        "benchmarks/test_fig10_transition.py for the full paper-scale "
+        "greedy-vs-lazy ordering):"
+    )
+    for name, (_, total) in results.items():
+        print(f"  {name:>10}: {total:8.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Benchmark harness: experiment configs, runners and paper-style reports."""
+
+from repro.bench.experiments import (
+    SESSION_NAMES,
+    STATIC_MIXES,
+    BenchScale,
+    base_config,
+    bench_lerp_config,
+    bench_scale,
+    dynamic_workload_experiment,
+    session_bounds,
+    standard_systems,
+    static_workload_experiment,
+    ycsb_experiment,
+)
+from repro.bench.harness import (
+    Experiment,
+    SeriesResult,
+    SystemSpec,
+    rank_systems,
+    run_experiment,
+    run_system,
+    session_rankings,
+)
+from repro.bench.reporting import (
+    format_latency_series,
+    format_per_level_latency,
+    format_policy_trace,
+    format_ranking_table,
+    format_summary,
+)
+
+__all__ = [
+    "Experiment",
+    "SystemSpec",
+    "SeriesResult",
+    "run_experiment",
+    "run_system",
+    "rank_systems",
+    "session_rankings",
+    "BenchScale",
+    "bench_scale",
+    "base_config",
+    "bench_lerp_config",
+    "standard_systems",
+    "static_workload_experiment",
+    "dynamic_workload_experiment",
+    "ycsb_experiment",
+    "session_bounds",
+    "SESSION_NAMES",
+    "STATIC_MIXES",
+    "format_latency_series",
+    "format_policy_trace",
+    "format_summary",
+    "format_ranking_table",
+    "format_per_level_latency",
+]

@@ -1,0 +1,318 @@
+"""Canonical experiment configurations for every paper figure and table.
+
+Scales are controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick``   — minutes-scale smoke runs (CI);
+* ``default`` — laptop-scale runs preserving every qualitative shape;
+* ``full``    — closest to the paper's setup that is still practical on one
+  machine (the paper used 100 M-entry stores and 100 M-operation workloads
+  on a Xeon server; see DESIGN.md §2 for why scaling down preserves shape).
+
+All experiments share the paper's constants: ``T = 10``, 1 KiB entries,
+4 KiB pages, bits-per-key 8 (uniform scheme) or 4 (Monkey scheme), initial
+policy leveling (K=1), and Lerp's ``α = 1/2``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.harness import Experiment, SystemSpec
+from repro.config import BloomScheme, SystemConfig, TransitionKind
+from repro.core.lerp import LerpConfig
+from repro.core.state import STATE_DIM
+from repro.core.tuners import (
+    GreedyThresholdTuner,
+    LazyLevelingTuner,
+    StaticTuner,
+)
+from repro.errors import ConfigError
+from repro.rl.ddpg import DDPGConfig
+from repro.workload.dynamic import DynamicWorkload, paper_dynamic_workload
+from repro.workload.uniform import UniformWorkload
+from repro.workload.ycsb import YCSBWorkload
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Run-shape parameters for one scale tier."""
+
+    name: str
+    write_buffer_bytes: int
+    n_records: int
+    mission_size: int
+    n_missions: int
+    session_missions: int  # per-session length for dynamic workloads
+    fig10_mission_size: int
+    fig10_missions: int
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        write_buffer_bytes=64 * 1024,
+        n_records=24_000,
+        mission_size=800,
+        n_missions=240,
+        session_missions=160,
+        fig10_mission_size=2_500,
+        fig10_missions=60,
+    ),
+    "default": BenchScale(
+        name="default",
+        write_buffer_bytes=128 * 1024,
+        n_records=50_000,
+        mission_size=1_200,
+        n_missions=500,
+        session_missions=350,
+        fig10_mission_size=5_000,
+        fig10_missions=120,
+    ),
+    "full": BenchScale(
+        name="full",
+        write_buffer_bytes=128 * 1024,
+        n_records=200_000,
+        mission_size=2_000,
+        n_missions=2_000,
+        session_missions=1_000,
+        fig10_mission_size=20_000,
+        fig10_missions=120,
+    ),
+}
+
+#: The workload mixes of Figures 6, 8 and 11 (lookup fractions).
+STATIC_MIXES = {
+    "read-heavy": 0.9,
+    "write-heavy": 0.1,
+    "balanced": 0.5,
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale tier (``REPRO_BENCH_SCALE``, default ``default``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name not in _SCALES:
+        raise ConfigError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+def base_config(
+    scheme: BloomScheme = BloomScheme.UNIFORM,
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+) -> SystemConfig:
+    """The paper's system constants at the active scale.
+
+    Bits-per-key follows the paper: 8 under the uniform scheme, 4 under
+    Monkey ("since in this case Monkey exploits Bloom filters more
+    effectively").
+    """
+    scale = scale or bench_scale()
+    return SystemConfig(
+        size_ratio=10,
+        entry_bytes=1024,
+        page_bytes=4096,
+        write_buffer_bytes=scale.write_buffer_bytes,
+        bits_per_key=8.0 if scheme is BloomScheme.UNIFORM else 4.0,
+        bloom_scheme=scheme,
+        initial_policy=1,
+        seed=seed,
+    )
+
+
+def bench_lerp_config(
+    n_missions: int, seed: int = 0, mode: str = "level", stages: int = 1
+) -> LerpConfig:
+    """Lerp hyperparameters sized so tuning converges within ~45 % of the
+    run (the paper's tuning takes ~300 of 2000 missions; shorter runs get a
+    proportionally faster exploration decay). ``stages`` is the number of
+    tuning stages the budget must cover: 1 under the uniform Bloom scheme,
+    2 under Monkey (Levels 1 and 2 are tuned successively)."""
+    if stages < 1:
+        raise ConfigError(f"stages must be >= 1, got {stages}")
+    budget = max(40, int(0.45 * n_missions / stages))
+    decay = math.exp(math.log(0.2) / budget)  # sigma 0.4 -> 0.08 over budget
+    return LerpConfig(
+        ddpg=DDPGConfig(state_dim=STATE_DIM, action_dim=1, noise_decay=decay),
+        max_stage_missions=max(60, int(0.55 * n_missions / stages)),
+        stable_window=min(25, max(10, n_missions // (12 * stages))),
+        mode=mode,
+        seed=seed,
+    )
+
+
+def standard_systems(
+    n_missions: int,
+    include_lazy_leveling: bool = False,
+    transition: TransitionKind = TransitionKind.FLEXIBLE,
+    seed: int = 0,
+) -> List[SystemSpec]:
+    """RusKey plus the paper's baselines (Aggressive/Moderate/Lazy, and
+    optionally Lazy-Leveling for the Monkey-scheme experiments)."""
+    systems = [
+        SystemSpec(
+            name="RusKey",
+            make_tuner=lambda config: None,  # default Lerp
+            initial_policy=1,
+            lerp_config=bench_lerp_config(
+                n_missions,
+                seed=seed,
+                stages=2 if include_lazy_leveling else 1,
+            ),
+        ),
+        SystemSpec("K=1 (Aggressive)", lambda config: StaticTuner(1), 1),
+        SystemSpec("K=5 (Moderate)", lambda config: StaticTuner(5), 5),
+        SystemSpec("K=10 (Lazy)", lambda config: StaticTuner(10), 10),
+    ]
+    if include_lazy_leveling:
+        systems.append(
+            SystemSpec(
+                "Lazy-Leveling",
+                lambda config: LazyLevelingTuner(),
+                initial_policy=10,
+            )
+        )
+    return systems
+
+
+# ----------------------------------------------------------------------
+# Figure 6 / Figure 8: static workloads, uniform vs Monkey Bloom scheme
+# ----------------------------------------------------------------------
+def static_workload_experiment(
+    mix: str,
+    scheme: BloomScheme = BloomScheme.UNIFORM,
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+) -> Experiment:
+    """One panel of Figure 6 (uniform) or Figure 8 (Monkey)."""
+    if mix not in STATIC_MIXES:
+        raise ConfigError(f"mix must be one of {sorted(STATIC_MIXES)}, got {mix!r}")
+    scale = scale or bench_scale()
+    workload = UniformWorkload(
+        n_records=scale.n_records,
+        lookup_fraction=STATIC_MIXES[mix],
+        seed=seed + 17,
+        name=mix,
+    )
+    figure = "fig6" if scheme is BloomScheme.UNIFORM else "fig8"
+    return Experiment(
+        name=f"{figure}-{mix}",
+        workload=workload,
+        n_missions=scale.n_missions,
+        mission_size=scale.mission_size,
+        base_config=base_config(scheme, scale, seed=seed),
+        systems=standard_systems(
+            scale.n_missions,
+            include_lazy_leveling=(scheme is BloomScheme.MONKEY),
+            seed=seed,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 / Table 3 / Figure 12: the five-session dynamic workload
+# ----------------------------------------------------------------------
+SESSION_NAMES = [
+    "read-heavy",
+    "balanced",
+    "write-heavy",
+    "write-inclined",
+    "read-inclined",
+]
+
+
+def dynamic_workload_experiment(
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+    include_greedy: bool = False,
+) -> Experiment:
+    """Figure 7 (RusKey vs static baselines) or Figure 12 (vs greedy
+    threshold tuners) on the five-session dynamic workload."""
+    scale = scale or bench_scale()
+    workload = paper_dynamic_workload(
+        n_records=scale.n_records,
+        missions_per_session=scale.session_missions,
+        seed=seed + 23,
+    )
+    n_missions = workload.total_missions
+    lerp = bench_lerp_config(scale.session_missions, seed=seed)
+    systems = [
+        SystemSpec("RusKey", lambda config: None, 1, lerp_config=lerp),
+    ]
+    if include_greedy:
+        for h_bottom, h_top in [
+            (0.50, 0.50),
+            (0.33, 0.67),
+            (0.25, 0.75),
+            (0.10, 0.90),
+            (0.25, 0.50),
+            (0.50, 0.75),
+        ]:
+            systems.append(
+                SystemSpec(
+                    f"Greedy,{int(h_bottom * 100)}%,{int(h_top * 100)}%",
+                    lambda config, hb=h_bottom, ht=h_top: GreedyThresholdTuner(hb, ht),
+                    initial_policy=5,
+                )
+            )
+    else:
+        systems.extend(
+            [
+                SystemSpec("K=1 (Aggressive)", lambda config: StaticTuner(1), 1),
+                SystemSpec("K=5 (Moderate)", lambda config: StaticTuner(5), 5),
+                SystemSpec("K=10 (Lazy)", lambda config: StaticTuner(10), 10),
+            ]
+        )
+    return Experiment(
+        name="fig12-dynamic-greedy" if include_greedy else "fig7-dynamic",
+        workload=workload,
+        n_missions=n_missions,
+        mission_size=scale.mission_size,
+        base_config=base_config(BloomScheme.UNIFORM, scale, seed=seed),
+        systems=systems,
+    )
+
+
+def session_bounds(workload: DynamicWorkload) -> List[int]:
+    """Session boundaries plus the final mission count (for rankings)."""
+    return workload.phase_boundaries() + [workload.total_missions]
+
+
+# ----------------------------------------------------------------------
+# Figure 11: YCSB (Zipfian) workloads
+# ----------------------------------------------------------------------
+def ycsb_experiment(
+    panel: str,
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+) -> Experiment:
+    """Figure 11 panels: read-heavy / write-heavy / balanced / range."""
+    scale = scale or bench_scale()
+    if panel == "range":
+        workload: YCSBWorkload = YCSBWorkload.paper_range_mix(
+            scale.n_records, seed=seed + 31
+        )
+        n_missions = max(40, scale.n_missions // 4)  # range scans are slow
+    elif panel in STATIC_MIXES:
+        workload = YCSBWorkload(
+            n_records=scale.n_records,
+            lookup_fraction=STATIC_MIXES[panel],
+            seed=seed + 31,
+            name=f"ycsb-{panel}",
+        )
+        n_missions = scale.n_missions
+    else:
+        raise ConfigError(f"unknown YCSB panel: {panel!r}")
+    return Experiment(
+        name=f"fig11-{panel}",
+        workload=workload,
+        n_missions=n_missions,
+        mission_size=scale.mission_size,
+        base_config=base_config(BloomScheme.UNIFORM, scale, seed=seed),
+        systems=standard_systems(n_missions, seed=seed),
+    )

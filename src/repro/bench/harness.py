@@ -1,0 +1,160 @@
+"""Experiment harness: run systems × workloads and collect series.
+
+One *system* is a named way of building a store (a tuner plus its natural
+initial policy); one *experiment* runs several systems over one workload and
+collects per-mission latency series, policy traces and mission statistics —
+the raw material of every figure and table in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.lerp import Lerp, LerpConfig
+from repro.core.ruskey import RusKey
+from repro.core.tuners import Tuner
+from repro.errors import WorkloadError
+from repro.lsm.stats import MissionStats
+from repro.workload.spec import WorkloadSpec
+
+TunerFactory = Callable[[SystemConfig], Optional[Tuner]]
+
+
+@dataclass
+class SystemSpec:
+    """A named system under test.
+
+    ``make_tuner`` builds the tuner given the resolved config (return
+    ``None`` for the default Lerp). ``initial_policy`` seeds every level —
+    static baselines start in their steady-state structure, RusKey starts at
+    leveling (K=1, RocksDB's default, as in the paper).
+    """
+
+    name: str
+    make_tuner: TunerFactory
+    initial_policy: int = 1
+    lerp_config: Optional[LerpConfig] = None
+
+
+@dataclass
+class SeriesResult:
+    """Everything collected from one system's run."""
+
+    system: str
+    missions: List[MissionStats]
+    policy_history: List[List[int]]
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-mission mean latency per operation (simulated seconds)."""
+        return np.asarray([m.latency_per_op for m in self.missions])
+
+    @property
+    def read_latencies(self) -> np.ndarray:
+        """Per-mission total lookup time (simulated seconds)."""
+        return np.asarray([m.read_time for m in self.missions])
+
+    @property
+    def write_latencies(self) -> np.ndarray:
+        """Per-mission total update/compaction time (simulated seconds)."""
+        return np.asarray([m.write_time for m in self.missions])
+
+    def mean_latency(self, last_n: Optional[int] = None) -> float:
+        series = self.latencies
+        if last_n is not None:
+            series = series[-last_n:]
+        return float(series.mean()) if len(series) else 0.0
+
+    def total_time(self) -> float:
+        """End-to-end simulated seconds spent processing all missions."""
+        return float(sum(m.total_time for m in self.missions))
+
+
+@dataclass
+class Experiment:
+    """A workload plus run-shape parameters shared by all systems."""
+
+    name: str
+    workload: WorkloadSpec
+    n_missions: int
+    mission_size: int
+    base_config: SystemConfig
+    chunk_size: int = 128
+    distribute_load: bool = True
+    systems: List[SystemSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_missions < 1 or self.mission_size < 1:
+            raise WorkloadError("n_missions and mission_size must be >= 1")
+
+
+def run_system(experiment: Experiment, system: SystemSpec) -> SeriesResult:
+    """Run one system through the experiment's workload."""
+    config = experiment.base_config.with_updates(
+        initial_policy=system.initial_policy
+    )
+    tuner = system.make_tuner(config)
+    if tuner is None:
+        tuner = Lerp(config, system.lerp_config)
+    store = RusKey(config, tuner=tuner, chunk_size=experiment.chunk_size)
+    workload = experiment.workload
+    if hasattr(workload, "load_records"):
+        keys, values = workload.load_records()  # type: ignore[attr-defined]
+        store.bulk_load(keys, values, distribute=experiment.distribute_load)
+    store.run_missions(
+        workload.missions(experiment.n_missions, experiment.mission_size)
+    )
+    return SeriesResult(
+        system=system.name,
+        missions=store.mission_log,
+        policy_history=store.policy_history,
+    )
+
+
+def run_experiment(experiment: Experiment) -> Dict[str, SeriesResult]:
+    """Run every system of the experiment; returns results by system name."""
+    if not experiment.systems:
+        raise WorkloadError(f"experiment {experiment.name!r} has no systems")
+    results: Dict[str, SeriesResult] = {}
+    for system in experiment.systems:
+        results[system.name] = run_system(experiment, system)
+    return results
+
+
+def rank_systems(
+    results: Dict[str, SeriesResult], last_n: Optional[int] = None
+) -> List[str]:
+    """System names ordered best (lowest converged latency) to worst."""
+    return sorted(results, key=lambda name: results[name].mean_latency(last_n))
+
+
+def session_rankings(
+    results: Dict[str, SeriesResult],
+    session_bounds: Sequence[int],
+    settle_fraction: float = 0.5,
+) -> Dict[str, List[int]]:
+    """Per-session performance ranks (1 = best), paper Table 3 style.
+
+    ``session_bounds`` holds the mission index where each session starts
+    plus the total mission count as the final element. Within each session,
+    only the last ``1 - settle_fraction`` share of missions is scored so
+    systems are compared after tuning has settled (the paper compares "after
+    the RL model is converged in each session").
+    """
+    if len(session_bounds) < 2:
+        raise WorkloadError("session_bounds needs at least start and end")
+    ranks: Dict[str, List[int]] = {name: [] for name in results}
+    for start, stop in zip(session_bounds[:-1], session_bounds[1:]):
+        settle = start + int((stop - start) * settle_fraction)
+        means = {
+            name: float(result.latencies[settle:stop].mean())
+            for name, result in results.items()
+        }
+        ordered = sorted(means, key=means.get)
+        for position, name in enumerate(ordered, start=1):
+            ranks[name].append(position)
+    return ranks

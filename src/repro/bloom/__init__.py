@@ -1,0 +1,25 @@
+"""Bloom filters and per-level FPR allocation schemes."""
+
+from repro.bloom.allocation import (
+    allocate_fprs,
+    bits_per_key_from_fpr,
+    fpr_from_bits_per_key,
+    monkey_allocation,
+    uniform_allocation,
+)
+from repro.bloom.filter import (
+    AnalyticalBloomFilter,
+    BitArrayBloomFilter,
+    optimal_num_hashes,
+)
+
+__all__ = [
+    "BitArrayBloomFilter",
+    "AnalyticalBloomFilter",
+    "optimal_num_hashes",
+    "fpr_from_bits_per_key",
+    "bits_per_key_from_fpr",
+    "uniform_allocation",
+    "monkey_allocation",
+    "allocate_fprs",
+]

@@ -1,0 +1,107 @@
+"""Bits-per-key / false-positive-rate allocation across LSM levels.
+
+Two schemes (paper Section 5.2):
+
+* **Uniform** — every level gets the same bits-per-key; this is the default
+  in RocksDB and the paper's "Case 1".
+* **Monkey** — level *i* gets an exponentially higher false-positive rate
+  than level *i-1* (``f_i = f_1 * T**(i-1)``, Dayan et al.). Given a global
+  memory budget expressed as *average* bits-per-key, :func:`monkey_allocation`
+  solves for ``f_1`` by bisection so that total filter memory matches the
+  budget, weighting each level by its capacity (deep levels hold
+  exponentially more keys).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.config import BloomScheme
+from repro.errors import ConfigError
+
+_LN2_SQ = math.log(2.0) ** 2
+
+
+def fpr_from_bits_per_key(bits_per_key: float) -> float:
+    """Standard Bloom filter FPR for a given bits-per-key: ``e^{-bpk ln2^2}``."""
+    if bits_per_key < 0:
+        raise ConfigError(f"bits_per_key must be >= 0, got {bits_per_key}")
+    return min(1.0, math.exp(-bits_per_key * _LN2_SQ))
+
+
+def bits_per_key_from_fpr(fpr: float) -> float:
+    """Inverse of :func:`fpr_from_bits_per_key` (0 bits for ``fpr >= 1``)."""
+    if not 0.0 < fpr <= 1.0:
+        raise ConfigError(f"fpr must be in (0, 1], got {fpr}")
+    if fpr >= 1.0:
+        return 0.0
+    return -math.log(fpr) / _LN2_SQ
+
+
+def uniform_allocation(bits_per_key: float, n_levels: int) -> List[float]:
+    """Per-level FPRs under the uniform scheme (all identical)."""
+    if n_levels < 1:
+        raise ConfigError(f"n_levels must be >= 1, got {n_levels}")
+    fpr = fpr_from_bits_per_key(bits_per_key)
+    return [fpr] * n_levels
+
+
+def _monkey_average_bits(f1: float, n_levels: int, size_ratio: int) -> float:
+    """Average bits-per-key over all levels when level 1 uses FPR ``f1``.
+
+    Level *i* holds a fraction of keys proportional to ``T**i``; levels whose
+    FPR saturates at 1 cost no memory.
+    """
+    total_weight = 0.0
+    total_bits = 0.0
+    for level in range(1, n_levels + 1):
+        weight = float(size_ratio) ** level
+        fpr = min(1.0, f1 * size_ratio ** (level - 1))
+        total_weight += weight
+        if fpr < 1.0:
+            total_bits += weight * bits_per_key_from_fpr(fpr)
+    return total_bits / total_weight
+
+
+def monkey_allocation(
+    bits_per_key: float, n_levels: int, size_ratio: int
+) -> List[float]:
+    """Per-level FPRs under Monkey for an average ``bits_per_key`` budget.
+
+    Returns ``[f_1, ..., f_L]`` with ``f_i = min(1, f_1 * T**(i-1))`` and
+    ``f_1`` chosen so that the capacity-weighted average bits-per-key equals
+    the budget (bisection to 1e-12 relative tolerance).
+    """
+    if n_levels < 1:
+        raise ConfigError(f"n_levels must be >= 1, got {n_levels}")
+    if size_ratio < 2:
+        raise ConfigError(f"size_ratio must be >= 2, got {size_ratio}")
+    if bits_per_key <= 0:
+        raise ConfigError(f"bits_per_key must be > 0, got {bits_per_key}")
+    if n_levels == 1:
+        return [fpr_from_bits_per_key(bits_per_key)]
+
+    lo, hi = 1e-300, 1.0
+    # _monkey_average_bits decreases monotonically in f1: more bits <=> lower f1.
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # geometric bisection: f1 spans many decades
+        if _monkey_average_bits(mid, n_levels, size_ratio) > bits_per_key:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1.0 + 1e-12:
+            break
+    f1 = math.sqrt(lo * hi)
+    return [min(1.0, f1 * size_ratio ** (i - 1)) for i in range(1, n_levels + 1)]
+
+
+def allocate_fprs(
+    scheme: BloomScheme, bits_per_key: float, n_levels: int, size_ratio: int
+) -> List[float]:
+    """Dispatch to the scheme-specific allocation."""
+    if scheme is BloomScheme.UNIFORM:
+        return uniform_allocation(bits_per_key, n_levels)
+    if scheme is BloomScheme.MONKEY:
+        return monkey_allocation(bits_per_key, n_levels, size_ratio)
+    raise ConfigError(f"unknown Bloom scheme: {scheme!r}")

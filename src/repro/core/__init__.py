@@ -1,0 +1,38 @@
+"""RusKey core: the tuning models, mission loop and system facade."""
+
+from repro.core.detector import WorkloadChangeDetector
+from repro.core.extensions import BloomBudgetExtension
+from repro.core.lerp import Lerp, LerpConfig, discretize_action
+from repro.core.missions import MissionRunner
+from repro.core.propagation import PolicyPropagator
+from repro.core.ruskey import RusKey
+from repro.core.state import STATE_DIM, RunningScale, level_state, mission_reward
+from repro.core.tuners import (
+    GreedyThresholdTuner,
+    LazyLevelingTuner,
+    NoOpTuner,
+    StaticTuner,
+    Tuner,
+    paper_greedy_variants,
+)
+
+__all__ = [
+    "RusKey",
+    "Lerp",
+    "LerpConfig",
+    "discretize_action",
+    "MissionRunner",
+    "PolicyPropagator",
+    "WorkloadChangeDetector",
+    "BloomBudgetExtension",
+    "Tuner",
+    "NoOpTuner",
+    "StaticTuner",
+    "LazyLevelingTuner",
+    "GreedyThresholdTuner",
+    "paper_greedy_variants",
+    "STATE_DIM",
+    "RunningScale",
+    "level_state",
+    "mission_reward",
+]

@@ -1,0 +1,58 @@
+"""Mission execution against a tree.
+
+:class:`MissionRunner` applies a :class:`~repro.workload.spec.Mission` to an
+LSM tree and returns its :class:`~repro.lsm.stats.MissionStats`. Operations
+are processed in *chunks*: inside a chunk, updates are applied in their
+original order first and point lookups are then resolved as one vectorized
+batch (range lookups always run individually). ``chunk_size=1`` degenerates
+to exact serial execution; larger chunks reorder lookups against updates by
+at most one chunk, which leaves the cost statistics of random workloads
+unchanged (tests verify serial and chunked runs agree) while making the
+large benchmarks an order of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.lsm.stats import MissionStats
+from repro.lsm.tree import LSMTree
+from repro.workload.spec import OP_LOOKUP, OP_RANGE, OP_UPDATE, Mission
+
+
+class MissionRunner:
+    """Executes missions on a tree with configurable chunking."""
+
+    def __init__(self, tree: LSMTree, chunk_size: int = 64) -> None:
+        if chunk_size < 1:
+            raise WorkloadError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.tree = tree
+        self.chunk_size = chunk_size
+
+    def run(self, mission: Mission) -> MissionStats:
+        """Execute ``mission`` and return its statistics."""
+        tree = self.tree
+        stats = tree.stats
+        stats.begin_mission(tree.disk.counters, tree.clock.now)
+        n = len(mission)
+        for start in range(0, n, self.chunk_size):
+            stop = min(start + self.chunk_size, n)
+            self._run_chunk(mission, start, stop)
+        return stats.end_mission(tree.disk.counters, tree.clock.now)
+
+    def _run_chunk(self, mission: Mission, start: int, stop: int) -> None:
+        kinds = mission.kinds[start:stop]
+        keys = mission.keys[start:stop]
+        values = mission.values[start:stop]
+        spans = mission.spans[start:stop]
+        tree = self.tree
+        updates = kinds == OP_UPDATE
+        for i in np.flatnonzero(updates):
+            tree.put(int(keys[i]), int(values[i]))
+        lookups = kinds == OP_LOOKUP
+        if lookups.any():
+            tree.get_batch(keys[lookups])
+        for i in np.flatnonzero(kinds == OP_RANGE):
+            lo = int(keys[i])
+            tree.range_lookup(lo, lo + max(0, int(spans[i]) - 1))

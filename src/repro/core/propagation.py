@@ -1,0 +1,60 @@
+"""Policy propagation across levels (paper Section 5.2).
+
+Training data for deep levels is scarce (their compactions are exponentially
+rarer), so Lerp learns only the shallow levels and *propagates*:
+
+* **Case 1 — uniform bits-per-key**: every level sees the same read/write
+  cost ratio, so the policy learned at Level 1 is copied to all levels.
+* **Case 2 — Monkey allocation**: per-level FPRs differ by factors of ``T``,
+  so the optimum varies by level; Lemma 5.1 (Eq. 4) infers each deeper
+  level's optimum from the two levels above it, given the learned optima of
+  Levels 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.config import BloomScheme
+from repro.cost.model import propagate_policies
+from repro.errors import ConfigError, PolicyError
+
+
+class PolicyPropagator:
+    """Extends learned shallow-level policies to a full policy vector."""
+
+    def __init__(self, scheme: BloomScheme, size_ratio: int) -> None:
+        if size_ratio < 2:
+            raise ConfigError(f"size_ratio must be >= 2, got {size_ratio}")
+        self.scheme = scheme
+        self.size_ratio = size_ratio
+
+    @property
+    def levels_to_learn(self) -> int:
+        """How many shallow levels the RL model must tune before
+        propagation can take over (1 for uniform, 2 for Monkey)."""
+        return 1 if self.scheme is BloomScheme.UNIFORM else 2
+
+    def propagate(self, learned: Sequence[int], n_levels: int) -> List[int]:
+        """Full policy vector for ``n_levels`` levels from the learned ones.
+
+        ``learned`` must contain :attr:`levels_to_learn` policies (extra
+        entries are ignored so callers can pass their full learned map).
+        """
+        if n_levels < 1:
+            raise ConfigError(f"n_levels must be >= 1, got {n_levels}")
+        needed = self.levels_to_learn
+        if len(learned) < needed:
+            raise PolicyError(
+                f"{self.scheme.value} propagation needs {needed} learned "
+                f"policies, got {len(learned)}"
+            )
+        for policy in learned[:needed]:
+            if not 1 <= policy <= self.size_ratio:
+                raise PolicyError(
+                    f"learned policy {policy} outside [1, {self.size_ratio}]"
+                )
+        if self.scheme is BloomScheme.UNIFORM:
+            return [learned[0]] * n_levels
+        k1, k2 = learned[0], learned[1]
+        return propagate_policies(k1, k2, n_levels, self.size_ratio)

@@ -1,0 +1,135 @@
+"""RusKey: the self-tuning key-value store (the paper's system).
+
+:class:`RusKey` wires together the FLSM-tree, the statistics collector, the
+mission runner and a tuner (Lerp by default). Per the paper's workflow
+(Section 3.1): the store processes a mission, the statistics collector
+reports mission statistics, the tuner extracts experience samples, updates
+its networks and issues a tuning strategy, and the FLSM-tree applies it
+through the flexible transition before the next mission.
+
+The same facade also hosts the baselines — pass a
+:class:`~repro.core.tuners.StaticTuner` for the paper's Aggressive /
+Moderate / Lazy configurations, or any other tuner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.lerp import Lerp, LerpConfig
+from repro.core.missions import MissionRunner
+from repro.core.tuners import Tuner
+from repro.errors import WorkloadError
+from repro.lsm.flsm import FLSMTree
+from repro.lsm.stats import MissionStats, StatsCollector
+from repro.workload.spec import Mission, WorkloadSpec
+
+
+class RusKey:
+    """An FLSM-tree store driven by a (pluggable) tuning model."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        tuner: Optional[Tuner] = None,
+        lerp_config: Optional[LerpConfig] = None,
+        chunk_size: int = 64,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.tree = FLSMTree(self.config)
+        self.tuner: Tuner = (
+            tuner if tuner is not None else Lerp(self.config, lerp_config)
+        )
+        self.runner = MissionRunner(self.tree, chunk_size=chunk_size)
+        self.mission_log: List[MissionStats] = []
+        self.policy_history: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    # Data access (pass-through to the tree)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StatsCollector:
+        return self.tree.stats
+
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite one entry."""
+        self.tree.put(key, value)
+
+    def get(self, key: int) -> Optional[int]:
+        """Point lookup; ``None`` when absent or deleted."""
+        return self.tree.get(key)
+
+    def delete(self, key: int) -> None:
+        """Delete one entry."""
+        self.tree.delete(key)
+
+    def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """All live entries with ``lo <= key <= hi``."""
+        return self.tree.range_lookup(lo, hi)
+
+    def bulk_load(
+        self, keys: np.ndarray, values: np.ndarray, distribute: bool = False
+    ) -> None:
+        """Populate an empty store (no simulated time is charged)."""
+        self.tree.bulk_load(keys, values, distribute=distribute)
+
+    def policies(self) -> List[int]:
+        """Current per-level compaction policies."""
+        return self.tree.policies()
+
+    # ------------------------------------------------------------------
+    # Mission loop
+    # ------------------------------------------------------------------
+    def run_mission(self, mission: Mission) -> MissionStats:
+        """Process one mission, then let the tuner adapt the tree."""
+        stats = self.runner.run(mission)
+        self.tuner.observe_mission(self.tree, stats)
+        self.mission_log.append(stats)
+        self.policy_history.append(self.policies())
+        return stats
+
+    def run_workload(
+        self,
+        workload: WorkloadSpec,
+        n_missions: int,
+        mission_size: int,
+        load: bool = True,
+    ) -> List[MissionStats]:
+        """Bulk load the workload's records (optional) and run its missions."""
+        if n_missions < 1 or mission_size < 1:
+            raise WorkloadError("n_missions and mission_size must be >= 1")
+        if load:
+            if self.tree.total_entries:
+                raise WorkloadError(
+                    "store already contains data; pass load=False to continue"
+                )
+            if not hasattr(workload, "load_records"):
+                raise WorkloadError(
+                    f"workload {workload.name!r} does not provide load_records"
+                )
+            keys, values = workload.load_records()  # type: ignore[attr-defined]
+            self.bulk_load(keys, values)
+        return self.run_missions(workload.missions(n_missions, mission_size))
+
+    def run_missions(self, missions: Iterable[Mission]) -> List[MissionStats]:
+        """Run a pre-built mission stream."""
+        return [self.run_mission(mission) for mission in missions]
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def latency_series(self) -> np.ndarray:
+        """Per-mission mean latency per operation (simulated seconds)."""
+        return np.asarray([m.latency_per_op for m in self.mission_log])
+
+    def mean_latency(self, last_n: Optional[int] = None) -> float:
+        """Mean per-op latency over the last ``last_n`` missions (or all)."""
+        series = self.latency_series()
+        if len(series) == 0:
+            return 0.0
+        if last_n is not None:
+            series = series[-last_n:]
+        return float(series.mean())

@@ -1,0 +1,157 @@
+"""RL state construction for Lerp.
+
+"The state captures the parameters related to the FLSM-tree and the workload
+within a mission. Our model state consists of internal statistics of the
+LSM-tree, such as the number of read and write I/Os, the level capacities,
+and the current compaction policies at each level. It also includes workload
+statistics such as the read/write ratio in the previous mission."
+(paper Section 5.1.1.)
+
+:func:`level_state` builds the per-level feature vector from exactly those
+quantities, normalized so every feature is roughly in [0, 1] regardless of
+mission size or device speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RLError
+from repro.lsm.stats import MissionStats
+from repro.lsm.tree import LSMTree
+
+#: Dimensionality of the per-level state vector.
+STATE_DIM = 8
+
+
+class RunningScale:
+    """Calibrate-then-freeze normalization anchor for latencies.
+
+    The scale averages its first ``calibration_samples`` inputs (a plain
+    running mean) and then *freezes*. An adaptive scale cannot be used to
+    normalize an RL reward here: it tracks whatever latency the current
+    policy produces, so any policy held long enough drifts toward the same
+    normalized reward (≈ 1) and the agent ends up comparing early samples
+    against late samples instead of policy against policy. A frozen anchor
+    keeps the reward an absolute (affine) function of latency within one
+    workload era; :meth:`boost` re-opens calibration when the workload
+    shifts and latency magnitudes genuinely change.
+
+    ``alpha`` is retained as the (slow) post-calibration adaptation rate;
+    the default of 0 freezes completely.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.0,
+        initial: float = 0.0,
+        calibration_samples: int = 8,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise RLError(f"alpha must be in [0, 1], got {alpha}")
+        if calibration_samples < 1:
+            raise RLError(
+                f"calibration_samples must be >= 1, got {calibration_samples}"
+            )
+        self.alpha = alpha
+        self.calibration_samples = calibration_samples
+        self.value = initial
+        self._count = 1 if initial > 0.0 else 0
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the anchor and return the current scale."""
+        if sample < 0:
+            raise RLError(f"scale samples must be >= 0, got {sample}")
+        self._count += 1
+        if self._count == 1 or self.value == 0.0:
+            self.value = sample
+        elif self._count <= self.calibration_samples:
+            self.value += (sample - self.value) / self._count
+        elif self.alpha > 0.0:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+    def boost(self) -> None:
+        """Re-open calibration (workload shift): the next
+        ``calibration_samples`` inputs re-anchor the scale."""
+        self._count = 0
+
+    def normalize(self, sample: float) -> float:
+        """``sample / scale`` clipped to [0, 10]; 0 before initialization."""
+        if self.value <= 0.0:
+            return 0.0
+        return float(min(sample / self.value, 10.0))
+
+
+def level_state(
+    tree: LSMTree,
+    mission: MissionStats,
+    level_no: int,
+    level_scale: RunningScale,
+    e2e_scale: RunningScale,
+) -> np.ndarray:
+    """Feature vector for ``level_no`` after ``mission``.
+
+    Features (all ~[0, 1]):
+
+    0. current policy ``K / T``
+    1. level fill ratio ``D/C``
+    2. mission lookup fraction γ
+    3. level read latency per op (normalized by the level's running scale)
+    4. level write latency per op (same normalization)
+    5. end-to-end latency per op (normalized by the e2e running scale)
+    6. number of runs in the level / ``2T`` (transition debt indicator)
+    7. random read I/Os per lookup (read-amplification proxy, /4)
+    """
+    level = tree.level(level_no)
+    t = tree.config.size_ratio
+    ops = max(1, mission.n_operations)
+    level_read = mission.level_read_time.get(level_no, 0.0) / ops
+    level_write = mission.level_write_time.get(level_no, 0.0) / ops
+    e2e = mission.total_time / ops
+    reads_per_lookup = (
+        mission.io.random_reads / mission.n_lookups if mission.n_lookups else 0.0
+    )
+    return np.asarray(
+        [
+            level.policy / t,
+            min(level.fill_ratio, 1.0),
+            mission.lookup_fraction,
+            level_scale.normalize(level_read),
+            level_scale.normalize(level_write),
+            e2e_scale.normalize(e2e),
+            min(level.n_runs / (2.0 * t), 1.0),
+            min(reads_per_lookup / 4.0, 1.0),
+        ],
+        dtype=np.float64,
+    )
+
+
+def mission_reward(
+    mission: MissionStats,
+    level_no: int,
+    alpha: float,
+    level_scale: RunningScale,
+    e2e_scale: RunningScale,
+) -> float:
+    """Lerp's reward for ``level_no``: ``-(α·t_i + (1-α)·t')``.
+
+    ``t_i`` is the level's latency and ``t'`` the end-to-end latency, both
+    per operation (paper Section 5.1.3, α = 1/2 by default). Lower latency
+    ⇒ higher (less negative) reward.
+
+    Each term is normalized by its *own* slowly-moving scale. A level's
+    latency is a small share of the end-to-end latency, so normalizing both
+    by one scale would bury the local signal (exactly the signal the
+    level-based model exists to exploit) under end-to-end compaction noise.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise RLError(f"alpha must be in [0, 1], got {alpha}")
+    ops = max(1, mission.n_operations)
+    t_level = mission.level_time(level_no) / ops
+    t_e2e = mission.total_time / ops
+    level_scale.update(t_level)
+    return -(
+        alpha * level_scale.normalize(t_level)
+        + (1.0 - alpha) * e2e_scale.normalize(t_e2e)
+    )

@@ -1,0 +1,148 @@
+"""Tuner interface and the paper's non-RL baselines.
+
+A *tuner* observes each finished mission and may adjust the tree's
+compaction policies before the next one. Implementations:
+
+* :class:`StaticTuner` — fixed policy ``K`` on every level; instantiates the
+  paper's Aggressive (K=1), Moderate (K=5) and Lazy (K=10) baselines.
+* :class:`LazyLevelingTuner` — Dostoevsky's Lazy-Leveling: the largest level
+  uses ``K=1``, every other level ``K=T``.
+* :class:`GreedyThresholdTuner` — the heuristic family of the paper's
+  Figure 12: when the observed lookup share drops below ``h_bottom`` the
+  policy is incremented (lazier); above ``h_top`` it is decremented
+  (more aggressive).
+* :class:`repro.core.lerp.Lerp` — the RL tuner (separate module).
+"""
+
+from __future__ import annotations
+
+from repro.config import TransitionKind
+from repro.errors import ConfigError
+from repro.lsm.stats import MissionStats
+from repro.lsm.tree import LSMTree
+
+
+class Tuner:
+    """Observes missions and adjusts compaction policies."""
+
+    name: str = "tuner"
+
+    def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
+        """Called once after each mission; may change ``tree`` policies."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any adaptive state (between experiment repetitions)."""
+
+
+class NoOpTuner(Tuner):
+    """Leaves the tree exactly as configured."""
+
+    name = "noop"
+
+    def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
+        return None
+
+
+class StaticTuner(Tuner):
+    """Pins every level (including newly created ones) to one policy."""
+
+    def __init__(
+        self,
+        policy: int,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+        name: str = "",
+    ) -> None:
+        if policy < 1:
+            raise ConfigError(f"policy must be >= 1, got {policy}")
+        self.policy = policy
+        self.transition = transition
+        self.name = name or f"K={policy}"
+
+    def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
+        for level in tree.levels:
+            if level.policy != self.policy:
+                tree.set_policy(level.level_no, self.policy, self.transition)
+
+
+class LazyLevelingTuner(Tuner):
+    """Dostoevsky's Lazy-Leveling: tiering everywhere, leveling at the
+    bottom. Reapplied as the tree grows so the largest level stays K=1."""
+
+    name = "lazy-leveling"
+
+    def __init__(self, transition: TransitionKind = TransitionKind.FLEXIBLE) -> None:
+        self.transition = transition
+
+    def desired_policies(self, tree: LSMTree) -> "list[int]":
+        t = tree.config.size_ratio
+        n = tree.n_levels
+        if n == 0:
+            return []
+        return [t] * (n - 1) + [1]
+
+    def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
+        for level, want in zip(tree.levels, self.desired_policies(tree)):
+            if level.policy != want:
+                tree.set_policy(level.level_no, want, self.transition)
+
+
+class GreedyThresholdTuner(Tuner):
+    """Per-level threshold heuristic (paper Figure 12).
+
+    "If the percentage of lookups in the level is less than ``h_bottom``,
+    the greedy algorithm identifies the workload as write-heavy and
+    increases the compaction policy of the level by one. Conversely, if the
+    percentage of lookups in the level exceeds ``h_top``, the greedy
+    algorithm recognizes the workload as read-heavy and decreases the
+    compaction policy by one."
+
+    The per-level lookup share is estimated from the level's read/write
+    latency split for the mission, falling back to the global mission mix
+    for levels the mission did not touch.
+    """
+
+    def __init__(
+        self,
+        h_bottom: float,
+        h_top: float,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+        name: str = "",
+    ) -> None:
+        if not 0.0 <= h_bottom <= h_top <= 1.0:
+            raise ConfigError(
+                f"need 0 <= h_bottom <= h_top <= 1, got {h_bottom}, {h_top}"
+            )
+        self.h_bottom = h_bottom
+        self.h_top = h_top
+        self.transition = transition
+        self.name = name or f"greedy({int(h_bottom*100)}%,{int(h_top*100)}%)"
+
+    def _level_lookup_share(self, mission: MissionStats, level_no: int) -> float:
+        read = mission.level_read_time.get(level_no, 0.0)
+        write = mission.level_write_time.get(level_no, 0.0)
+        if read + write <= 0.0:
+            return mission.lookup_fraction
+        return read / (read + write)
+
+    def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
+        t = tree.config.size_ratio
+        for level in tree.levels:
+            share = self._level_lookup_share(mission, level.level_no)
+            if share < self.h_bottom and level.policy < t:
+                tree.set_policy(level.level_no, level.policy + 1, self.transition)
+            elif share > self.h_top and level.policy > 1:
+                tree.set_policy(level.level_no, level.policy - 1, self.transition)
+
+
+def paper_greedy_variants() -> "list[GreedyThresholdTuner]":
+    """The Figure 12 threshold settings: four symmetric, two biased."""
+    settings = [
+        (0.50, 0.50),
+        (0.33, 0.67),
+        (0.25, 0.75),
+        (0.10, 0.90),
+        (0.25, 0.50),
+        (0.50, 0.75),
+    ]
+    return [GreedyThresholdTuner(h_bottom, h_top) for h_bottom, h_top in settings]

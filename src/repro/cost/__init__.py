@@ -1,0 +1,52 @@
+"""White-box cost models: Eq. 5 operation costs, Table 2 transition costs,
+and amplification estimators."""
+
+from repro.cost.amplification import (
+    level_read_amplification,
+    level_write_amplification,
+    measured_read_amplification,
+    measured_write_amplification,
+    tree_write_amplification,
+)
+from repro.cost.model import (
+    clamp_policy,
+    lemma_next_policy,
+    level_operation_cost,
+    optimal_policies_whitebox,
+    optimal_policy_continuous,
+    propagate_policies,
+    tree_operation_cost,
+)
+from repro.cost.transition import (
+    TransitionCosts,
+    TransitionScenario,
+    amortized_greedy_immediate_ios,
+    amortized_lazy_delay_seconds,
+    flexible_costs,
+    greedy_costs,
+    lazy_costs,
+    paper_case_study,
+)
+
+__all__ = [
+    "level_operation_cost",
+    "optimal_policy_continuous",
+    "clamp_policy",
+    "lemma_next_policy",
+    "propagate_policies",
+    "tree_operation_cost",
+    "optimal_policies_whitebox",
+    "TransitionScenario",
+    "TransitionCosts",
+    "greedy_costs",
+    "lazy_costs",
+    "flexible_costs",
+    "amortized_greedy_immediate_ios",
+    "amortized_lazy_delay_seconds",
+    "paper_case_study",
+    "level_read_amplification",
+    "level_write_amplification",
+    "tree_write_amplification",
+    "measured_read_amplification",
+    "measured_write_amplification",
+]

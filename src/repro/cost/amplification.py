@@ -1,0 +1,60 @@
+"""Read/write amplification estimators and measurement helpers.
+
+Analytic forms follow the paper:
+
+* level read amplification at fill ratio ``x``: ``f · K · x`` expected
+  page reads per (zero-result) lookup probing the level (Figure 5);
+* level write amplification: ``T / K`` rewrites per entry passing through
+  a level (Section 5.1.3, citing the design-continuum analysis).
+
+Measured counterparts are derived from :class:`~repro.storage.pager.IOCounters`
+so experiments can check the simulator against the theory.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.storage.pager import IOCounters
+
+
+def level_read_amplification(fpr: float, policy: int, fill_ratio: float) -> float:
+    """Expected page reads a zero-result lookup incurs in one level."""
+    if policy < 1:
+        raise ConfigError(f"policy must be >= 1, got {policy}")
+    if not 0.0 <= fill_ratio <= 1.0:
+        raise ConfigError(f"fill_ratio must be in [0, 1], got {fill_ratio}")
+    return fpr * policy * fill_ratio
+
+
+def level_write_amplification(size_ratio: int, policy: int) -> float:
+    """Rewrites an entry takes part in while resident in one level: T/K."""
+    if policy < 1:
+        raise ConfigError(f"policy must be >= 1, got {policy}")
+    if size_ratio < 2:
+        raise ConfigError(f"size_ratio must be >= 2, got {size_ratio}")
+    return size_ratio / policy
+
+
+def tree_write_amplification(size_ratio: int, policies: "list[int]") -> float:
+    """Total expected rewrites per entry across all levels."""
+    return sum(level_write_amplification(size_ratio, k) for k in policies)
+
+
+def measured_write_amplification(
+    io: IOCounters, n_updates: int, entries_per_page: int
+) -> float:
+    """Pages written per update, normalized to entry rewrites.
+
+    ``(seq_writes + random_writes) * entries_per_page / n_updates`` — the
+    average number of times each ingested entry was physically rewritten.
+    """
+    if n_updates <= 0:
+        return 0.0
+    return io.total_writes * entries_per_page / n_updates
+
+
+def measured_read_amplification(io: IOCounters, n_lookups: int) -> float:
+    """Random page reads per lookup."""
+    if n_lookups <= 0:
+        return 0.0
+    return io.random_reads / n_lookups

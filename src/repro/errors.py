@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so that callers can catch library failures without catching programming
+mistakes (``TypeError`` and friends propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A :class:`~repro.config.SystemConfig` value is out of range or
+    inconsistent with another value."""
+
+
+class StorageError(ReproError):
+    """The simulated storage layer was used incorrectly (e.g. reading a page
+    that was never written)."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A strict lookup did not find the requested key.
+
+    Inherits from :class:`KeyError` so that code written against a plain
+    mapping keeps working.
+    """
+
+    def __init__(self, key: int) -> None:
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the key; be plainer.
+        return f"key not found: {self.key}"
+
+
+class TreeStateError(ReproError):
+    """An LSM-tree invariant would be violated by the requested operation
+    (e.g. writing to a sealed run)."""
+
+
+class PolicyError(ReproError):
+    """A compaction policy value is invalid for the current tree (must be an
+    integer in ``[1, T]``)."""
+
+
+class TransitionError(ReproError):
+    """A compaction-policy transition could not be applied."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid (bad mix, empty key space, ...)."""
+
+
+class RLError(ReproError):
+    """A reinforcement-learning component was mis-configured or used out of
+    order (e.g. sampling an empty replay buffer)."""

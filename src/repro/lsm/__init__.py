@@ -1,0 +1,38 @@
+"""The LSM/FLSM-tree storage engine."""
+
+from repro.lsm.entry import TOMBSTONE, Entry, merge_sorted_sources
+from repro.lsm.flsm import FLSMTree
+from repro.lsm.iterators import iter_live_items, live_items
+from repro.lsm.level import Level
+from repro.lsm.memtable import MemTable
+from repro.lsm.run import SortedRun
+from repro.lsm.stats import BUFFER_LEVEL, MissionStats, StatsCollector
+from repro.lsm.transitions import (
+    FlexibleTransition,
+    GreedyTransition,
+    LazyTransition,
+    TransitionStrategy,
+    make_transition,
+)
+from repro.lsm.tree import LSMTree
+
+__all__ = [
+    "TOMBSTONE",
+    "Entry",
+    "merge_sorted_sources",
+    "MemTable",
+    "SortedRun",
+    "Level",
+    "LSMTree",
+    "FLSMTree",
+    "StatsCollector",
+    "MissionStats",
+    "BUFFER_LEVEL",
+    "TransitionStrategy",
+    "GreedyTransition",
+    "LazyTransition",
+    "FlexibleTransition",
+    "make_transition",
+    "live_items",
+    "iter_live_items",
+]

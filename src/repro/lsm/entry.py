@@ -1,0 +1,83 @@
+"""Key-value entry conventions for the simulated store.
+
+Keys and values are signed 64-bit integers. Real byte payloads are not
+stored — the logical entry size ``E`` (``SystemConfig.entry_bytes``) drives
+all capacity and I/O math, exactly as in the paper's analysis where only
+``E``, ``B`` and counts matter. Deletions are encoded as a tombstone value.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+#: Reserved value marking a deleted key. User values must not equal this.
+TOMBSTONE: int = np.iinfo(np.int64).min
+
+#: Smallest and largest keys usable by applications.
+MIN_KEY: int = np.iinfo(np.int64).min
+MAX_KEY: int = np.iinfo(np.int64).max
+
+
+class Entry(NamedTuple):
+    """A single key-value pair as surfaced by scans."""
+
+    key: int
+    value: int
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value == TOMBSTONE
+
+
+def validate_value(value: int) -> int:
+    """Reject user values that collide with the tombstone sentinel."""
+    value = int(value)
+    if value == TOMBSTONE:
+        raise ValueError(
+            "value collides with the tombstone sentinel; "
+            f"use a value other than {TOMBSTONE}"
+        )
+    return value
+
+
+def merge_sorted_sources(
+    key_arrays: "list[np.ndarray]",
+    value_arrays: "list[np.ndarray]",
+    drop_tombstones: bool = False,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Merge sorted key/value arrays, newest-wins, ordered oldest → newest.
+
+    ``key_arrays[j]`` must be sorted and duplicate-free; arrays later in the
+    list take precedence for duplicate keys (they are "newer"). When
+    ``drop_tombstones`` is true (merging into the bottom level of the tree),
+    deleted keys are removed from the output entirely.
+
+    Returns ``(keys, values)`` sorted by key with unique keys.
+    """
+    if len(key_arrays) != len(value_arrays):
+        raise ValueError("key_arrays and value_arrays must have equal length")
+    non_empty = [
+        (k, v) for k, v in zip(key_arrays, value_arrays) if len(k) > 0
+    ]
+    if not non_empty:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    keys = np.concatenate([k for k, _ in non_empty]).astype(np.int64, copy=False)
+    values = np.concatenate([v for _, v in non_empty]).astype(np.int64, copy=False)
+    # Stable sort keeps the concatenation order within equal keys, so the
+    # newest version of each key ends up last in its group.
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+    keep = np.empty(len(keys), dtype=bool)
+    keep[:-1] = keys[1:] != keys[:-1]
+    keep[-1] = True
+    keys = keys[keep]
+    values = values[keep]
+    if drop_tombstones:
+        alive = values != TOMBSTONE
+        keys = keys[alive]
+        values = values[alive]
+    return keys, values

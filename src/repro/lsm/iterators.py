@@ -1,0 +1,48 @@
+"""Merging iteration over the whole tree.
+
+Used by verification utilities and examples to view the live contents of an
+LSM-tree as a single sorted stream, without charging simulated I/O (it is an
+in-memory debugging view, not a database scan — use
+:meth:`LSMTree.range_lookup` for cost-accounted scans).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.lsm.entry import TOMBSTONE, merge_sorted_sources
+from repro.lsm.tree import LSMTree
+
+
+def live_items(tree: LSMTree) -> "Tuple[np.ndarray, np.ndarray]":
+    """All live ``(keys, values)`` of ``tree``, sorted by key.
+
+    Tombstoned keys are excluded. No simulated cost is charged.
+    """
+    key_arrays = []
+    value_arrays = []
+    for level in reversed(tree.levels):  # deepest (oldest) first
+        for run in level.runs:  # oldest → newest within the level
+            if run.n_entries:
+                key_arrays.append(run.keys)
+                value_arrays.append(run.values)
+    buffered = {k: v for k, v in tree.memtable.range_items(
+        np.iinfo(np.int64).min, np.iinfo(np.int64).max
+    ).items()}
+    if buffered:
+        mk = np.fromiter(buffered.keys(), dtype=np.int64, count=len(buffered))
+        mv = np.fromiter(buffered.values(), dtype=np.int64, count=len(buffered))
+        order = np.argsort(mk, kind="stable")
+        key_arrays.append(mk[order])
+        value_arrays.append(mv[order])
+    return merge_sorted_sources(key_arrays, value_arrays, drop_tombstones=True)
+
+
+def iter_live_items(tree: LSMTree) -> Iterator[Tuple[int, int]]:
+    """Iterate live ``(key, value)`` pairs of ``tree`` in key order."""
+    keys, values = live_items(tree)
+    for key, value in zip(keys.tolist(), values.tolist()):
+        if value != TOMBSTONE:
+            yield key, value

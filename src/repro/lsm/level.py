@@ -1,0 +1,197 @@
+"""A single level of the (F)LSM-tree.
+
+A level owns an ordered list of runs — oldest first, the *active* run last —
+plus its compaction policy ``K`` (maximum number of runs, paper Section 2).
+The active run admits the merge output from the level above and seals at
+``capacity / K``. Crucially for the FLSM design (paper Section 4.2), sealed
+runs may have *any* size: a policy change only affects the capacity of the
+active run and of runs formed later.
+
+The level holds no cost logic; merging and accounting live in
+:class:`repro.lsm.tree.LSMTree`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PolicyError, TreeStateError
+from repro.lsm.run import SortedRun
+
+
+class Level:
+    """Runs, capacity and compaction policy of one LSM level."""
+
+    __slots__ = (
+        "level_no",
+        "capacity_entries",
+        "policy",
+        "pending_policy",
+        "fpr",
+        "runs",
+        "max_policy",
+    )
+
+    def __init__(
+        self,
+        level_no: int,
+        capacity_entries: int,
+        policy: int,
+        fpr: float,
+        max_policy: int,
+    ) -> None:
+        if level_no < 1:
+            raise TreeStateError(f"level_no must be >= 1, got {level_no}")
+        if capacity_entries < 1:
+            raise TreeStateError(
+                f"capacity_entries must be >= 1, got {capacity_entries}"
+            )
+        self.level_no = level_no
+        self.capacity_entries = capacity_entries
+        self.max_policy = max_policy
+        self._check_policy(policy)
+        self.policy = policy
+        #: Policy queued by a lazy transition; applied when the level empties.
+        self.pending_policy: Optional[int] = None
+        self.fpr = fpr
+        self.runs: List[SortedRun] = []
+
+    def _check_policy(self, policy: int) -> None:
+        if not isinstance(policy, int) or not 1 <= policy <= self.max_policy:
+            raise PolicyError(
+                f"policy must be an int in [1, {self.max_policy}], got {policy!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def data_entries(self) -> int:
+        return sum(run.n_entries for run in self.runs)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of the level's capacity currently occupied (paper D/C)."""
+        return self.data_entries / self.capacity_entries
+
+    @property
+    def is_full(self) -> bool:
+        return self.data_entries >= self.capacity_entries
+
+    @property
+    def is_empty(self) -> bool:
+        return self.data_entries == 0
+
+    @property
+    def active_run(self) -> Optional[SortedRun]:
+        """The unsealed run accepting merges, or ``None``."""
+        if self.runs and not self.runs[-1].sealed:
+            return self.runs[-1]
+        return None
+
+    @property
+    def sealed_runs(self) -> List[SortedRun]:
+        return [run for run in self.runs if run.sealed]
+
+    def active_run_capacity(self) -> int:
+        """Capacity of a (new) active run under the current policy: ``C/K``."""
+        return max(1, self.capacity_entries // self.policy)
+
+    # ------------------------------------------------------------------
+    # Run management (invoked by the tree)
+    # ------------------------------------------------------------------
+    def replace_active(self, new_run: SortedRun) -> Optional[SortedRun]:
+        """Swap the active run for its merged replacement.
+
+        Returns the run that was replaced (for cache invalidation) or ``None``
+        if the level had no active run. Seals the replacement when it has
+        reached its capacity.
+        """
+        old = None
+        if self.runs and not self.runs[-1].sealed:
+            old = self.runs.pop()
+        self.runs.append(new_run)
+        if new_run.is_at_capacity:
+            new_run.seal()
+        return old
+
+    def drop_all_runs(self) -> List[SortedRun]:
+        """Remove every run (after a full-level merge). Applies any pending
+        lazy policy now that the level is empty."""
+        dropped = self.runs
+        self.runs = []
+        if self.pending_policy is not None:
+            self.policy = self.pending_policy
+            self.pending_policy = None
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Policy transitions (paper Section 4)
+    # ------------------------------------------------------------------
+    def set_policy_flexible(self, new_policy: int) -> None:
+        """Apply ``new_policy`` with the FLSM flexible transition.
+
+        * ``K' < K`` — the active run's capacity grows to ``C/K'``; sealed
+          runs are untouched.
+        * ``K' > K`` — the active run's capacity shrinks to ``C/K'``; if the
+          active run already exceeds the new capacity it is sealed
+          immediately and a fresh active run will be created on next admit.
+
+        No data moves, so the transition costs zero I/O and takes effect
+        immediately (paper Table 2).
+        """
+        self._check_policy(new_policy)
+        self.pending_policy = None
+        self.policy = new_policy
+        active = self.active_run
+        if active is None:
+            return
+        new_capacity = self.active_run_capacity()
+        active.capacity_entries = new_capacity
+        if active.n_entries >= new_capacity:
+            active.seal()
+
+    def set_policy_lazy(self, new_policy: int) -> None:
+        """Queue ``new_policy``; it takes effect when the level next empties."""
+        self._check_policy(new_policy)
+        if new_policy == self.policy:
+            self.pending_policy = None
+        else:
+            self.pending_policy = new_policy
+
+    def set_policy_immediate(self, new_policy: int) -> None:
+        """Set the policy directly (used by the greedy transition *after* the
+        level has been force-merged, and by initialization)."""
+        self._check_policy(new_policy)
+        self.pending_policy = None
+        self.policy = new_policy
+
+    def effective_policy(self) -> int:
+        """The policy currently governing the level's behaviour (a pending
+        lazy policy is *not* effective until the level empties)."""
+        return self.policy
+
+    def check_invariants(self) -> None:
+        """Raise :class:`TreeStateError` if the level violates structural
+        invariants. Used by tests and the tree's debug mode."""
+        for run in self.runs[:-1]:
+            if not run.sealed:
+                raise TreeStateError(
+                    f"level {self.level_no}: non-tail run {run.run_id} unsealed"
+                )
+        for run in self.runs:
+            if run.level_no != self.level_no:
+                raise TreeStateError(
+                    f"level {self.level_no}: run {run.run_id} tagged "
+                    f"level {run.level_no}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Level(no={self.level_no}, K={self.policy}, runs={self.n_runs}, "
+            f"fill={self.fill_ratio:.2f})"
+        )

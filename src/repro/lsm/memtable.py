@@ -1,0 +1,80 @@
+"""In-memory write buffer.
+
+New writes land here; when the buffer holds ``capacity_entries`` entries it
+is sorted and flushed into Level 1 as (part of) a sorted run. Deletions are
+buffered as tombstones so they can shadow older on-disk versions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.lsm.entry import TOMBSTONE, validate_value
+
+
+class MemTable:
+    """A bounded, mutable key-value buffer with newest-wins semantics."""
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity_entries: int) -> None:
+        if capacity_entries < 1:
+            raise ConfigError(
+                f"memtable capacity must be >= 1, got {capacity_entries}"
+            )
+        self._capacity = capacity_entries
+        self._entries: Dict[int, int] = {}
+
+    @property
+    def capacity_entries(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite ``key``. Overwrites do not consume capacity."""
+        self._entries[int(key)] = validate_value(value)
+
+    def delete(self, key: int) -> None:
+        """Buffer a tombstone for ``key``."""
+        self._entries[int(key)] = TOMBSTONE
+
+    def get(self, key: int) -> Optional[int]:
+        """Latest buffered value for ``key`` (may be ``TOMBSTONE``), else
+        ``None`` if the key is not buffered at all."""
+        return self._entries.get(int(key))
+
+    def range_items(self, lo: int, hi: int) -> Dict[int, int]:
+        """Buffered entries with ``lo <= key <= hi`` (including tombstones)."""
+        return {k: v for k, v in self._entries.items() if lo <= k <= hi}
+
+    def drain_sorted(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Empty the buffer and return its contents sorted by key.
+
+        Tombstones are retained in the output: they must be persisted so they
+        can shadow older versions further down the tree.
+        """
+        if not self._entries:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        keys = np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
+        values = np.fromiter(
+            self._entries.values(), dtype=np.int64, count=len(self._entries)
+        )
+        order = np.argsort(keys, kind="stable")
+        self._entries.clear()
+        return keys[order], values[order]
+
+    def clear(self) -> None:
+        self._entries.clear()

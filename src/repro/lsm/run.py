@@ -1,0 +1,199 @@
+"""Sorted runs: the on-disk unit of an LSM level.
+
+A :class:`SortedRun` owns a sorted, duplicate-free array of keys with their
+values, a Bloom filter sized for the level's false-positive rate, and
+implicit fence pointers (one per page: the page of a key is simply its rank
+divided by entries-per-page, which models the per-page min-key index real
+systems keep in memory).
+
+Runs are *immutable once sealed*. The active run of a level is replaced
+wholesale on every merge (the merge cost is charged by the tree); its
+``capacity_entries`` attribute is the only mutable piece of metadata, which
+is exactly what the paper's flexible transition adjusts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config import BloomMode
+from repro.bloom.filter import AnalyticalBloomFilter, BitArrayBloomFilter
+from repro.errors import TreeStateError
+
+BloomFilter = Union[BitArrayBloomFilter, AnalyticalBloomFilter]
+
+
+class SortedRun:
+    """An immutable sorted run with Bloom filter and fence pointers."""
+
+    __slots__ = (
+        "run_id",
+        "level_no",
+        "keys",
+        "values",
+        "fpr",
+        "capacity_entries",
+        "sealed",
+        "_bloom",
+        "_entries_per_page",
+    )
+
+    def __init__(
+        self,
+        run_id: int,
+        level_no: int,
+        keys: np.ndarray,
+        values: np.ndarray,
+        fpr: float,
+        capacity_entries: int,
+        entries_per_page: int,
+        bloom_mode: BloomMode,
+        rng: np.random.Generator,
+        sealed: bool = False,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if keys.shape != values.shape:
+            raise TreeStateError(
+                f"keys/values length mismatch: {keys.shape} vs {values.shape}"
+            )
+        if len(keys) > 1 and not bool(np.all(keys[1:] > keys[:-1])):
+            raise TreeStateError("run keys must be strictly increasing")
+        if entries_per_page < 1:
+            raise TreeStateError(
+                f"entries_per_page must be >= 1, got {entries_per_page}"
+            )
+        self.run_id = run_id
+        self.level_no = level_no
+        self.keys = keys
+        self.values = values
+        self.fpr = float(fpr)
+        self.capacity_entries = int(capacity_entries)
+        self.sealed = sealed
+        self._entries_per_page = entries_per_page
+        if bloom_mode is BloomMode.BIT_ARRAY:
+            self._bloom: BloomFilter = BitArrayBloomFilter(keys, fpr, salt=run_id)
+        else:
+            self._bloom = AnalyticalBloomFilter(keys, fpr, rng)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        return len(self.keys)
+
+    @property
+    def n_pages(self) -> int:
+        if self.n_entries == 0:
+            return 0
+        return -(-self.n_entries // self._entries_per_page)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_entries == 0
+
+    @property
+    def is_at_capacity(self) -> bool:
+        return self.n_entries >= self.capacity_entries
+
+    @property
+    def min_key(self) -> Optional[int]:
+        return int(self.keys[0]) if self.n_entries else None
+
+    @property
+    def max_key(self) -> Optional[int]:
+        return int(self.keys[-1]) if self.n_entries else None
+
+    @property
+    def bloom_memory_bits(self) -> int:
+        return self._bloom.memory_bits
+
+    def seal(self) -> None:
+        """Mark the run immutable; further policy changes never touch it."""
+        self.sealed = True
+
+    # ------------------------------------------------------------------
+    # Point lookups
+    # ------------------------------------------------------------------
+    def bloom_positive(self, key: int) -> bool:
+        """Whether the Bloom filter directs a disk probe for ``key``."""
+        return self._bloom.might_contain(key)
+
+    def bloom_positive_batch(self, keys: np.ndarray) -> np.ndarray:
+        return self._bloom.might_contain_batch(keys)
+
+    def position_of(self, key: int) -> int:
+        """Rank ``key`` would occupy; used by fence pointers."""
+        return int(np.searchsorted(self.keys, key))
+
+    def page_of_position(self, position: int) -> int:
+        """Page index holding the entry at ``position`` (clamped to the run)."""
+        if self.n_entries == 0:
+            return 0
+        position = min(max(position, 0), self.n_entries - 1)
+        return position // self._entries_per_page
+
+    def find(self, key: int) -> Tuple[bool, int, int]:
+        """Exact search: ``(found, value, page_index)``.
+
+        ``page_index`` is the page a fence-pointer-guided probe would read,
+        whether or not the key is present (a Bloom false positive still costs
+        that one page read).
+        """
+        pos = self.position_of(key)
+        page = self.page_of_position(pos)
+        if pos < self.n_entries and self.keys[pos] == key:
+            return True, int(self.values[pos]), page
+        return False, 0, page
+
+    def find_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`find`: ``(found_mask, values, page_indices)``."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if self.n_entries == 0:
+            n = len(keys)
+            return (
+                np.zeros(n, dtype=bool),
+                np.zeros(n, dtype=np.int64),
+                np.zeros(n, dtype=np.int64),
+            )
+        pos = np.searchsorted(self.keys, keys)
+        clamped = np.minimum(pos, self.n_entries - 1)
+        found = self.keys[clamped] == keys
+        values = np.where(found, self.values[clamped], 0)
+        pages = clamped // self._entries_per_page
+        return found, values, pages
+
+    # ------------------------------------------------------------------
+    # Range scans
+    # ------------------------------------------------------------------
+    def range_slice(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Entries with ``lo <= key <= hi`` plus the pages touched.
+
+        Returns ``(keys, values, n_pages_read)``. An empty overlap costs zero
+        pages (fence pointers prove the range is absent without I/O).
+        """
+        if self.n_entries == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), 0
+        start = int(np.searchsorted(self.keys, lo, side="left"))
+        stop = int(np.searchsorted(self.keys, hi, side="right"))
+        if start >= stop:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), 0
+        first_page = self.page_of_position(start)
+        last_page = self.page_of_position(stop - 1)
+        return (
+            self.keys[start:stop],
+            self.values[start:stop],
+            last_page - first_page + 1,
+        )
+
+    def __repr__(self) -> str:
+        state = "sealed" if self.sealed else "active"
+        return (
+            f"SortedRun(id={self.run_id}, level={self.level_no}, "
+            f"entries={self.n_entries}/{self.capacity_entries}, {state})"
+        )

@@ -1,0 +1,187 @@
+"""Statistics collection for the simulated store.
+
+The paper's RusKey "maintains a statistics collector that keeps track of
+necessary statistics ... Besides overall statistics of the FLSM-tree, it
+tracks statistics separately for each FLSM-tree level to support the
+level-based training scheme in Lerp. It also collects the operation
+composition in each mission for detecting changes in the application
+workload." (Section 3.)
+
+:class:`StatsCollector` is that component: it attributes every simulated
+cost to a level and an operation class, and cuts the stream into per-mission
+:class:`MissionStats` records that feed both the RL reward and the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.storage.pager import IOCounters
+
+#: Pseudo-level used for costs not attributable to a disk level (memtable).
+BUFFER_LEVEL = 0
+
+
+@dataclass
+class MissionStats:
+    """Everything measured during one mission (a batch of operations)."""
+
+    index: int
+    n_lookups: int = 0
+    n_updates: int = 0
+    n_ranges: int = 0
+    read_time: float = 0.0
+    write_time: float = 0.0
+    level_read_time: Dict[int, float] = field(default_factory=dict)
+    level_write_time: Dict[int, float] = field(default_factory=dict)
+    io: IOCounters = field(default_factory=IOCounters)
+    sim_duration: float = 0.0
+    model_update_time: float = 0.0
+
+    @property
+    def n_operations(self) -> int:
+        return self.n_lookups + self.n_updates + self.n_ranges
+
+    @property
+    def lookup_fraction(self) -> float:
+        """Fraction of point+range lookups in the mission (paper's γ)."""
+        ops = self.n_operations
+        if ops == 0:
+            return 0.0
+        return (self.n_lookups + self.n_ranges) / ops
+
+    @property
+    def total_time(self) -> float:
+        return self.read_time + self.write_time
+
+    @property
+    def latency_per_op(self) -> float:
+        """Mean simulated latency per operation in seconds."""
+        ops = self.n_operations
+        return self.total_time / ops if ops else 0.0
+
+    def level_time(self, level_no: int) -> float:
+        """Total (read + write) simulated time attributed to ``level_no``."""
+        return self.level_read_time.get(level_no, 0.0) + self.level_write_time.get(
+            level_no, 0.0
+        )
+
+
+class StatsCollector:
+    """Attributes simulated costs to levels and mission windows."""
+
+    def __init__(self) -> None:
+        self._mission_index = 0
+        self._current: Optional[MissionStats] = None
+        self.completed: List[MissionStats] = []
+        # Cumulative, across all missions.
+        self.total_read_time = 0.0
+        self.total_write_time = 0.0
+        self.total_lookups = 0
+        self.total_updates = 0
+        self.total_ranges = 0
+        self.level_read_time: Dict[int, float] = {}
+        self.level_write_time: Dict[int, float] = {}
+        self._io_snapshot: Optional[IOCounters] = None
+        self._clock_snapshot: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Mission windows
+    # ------------------------------------------------------------------
+    @property
+    def in_mission(self) -> bool:
+        return self._current is not None
+
+    def begin_mission(self, io: IOCounters, clock_now: float) -> None:
+        """Open a mission window; one must not already be open."""
+        if self._current is not None:
+            raise RuntimeError("a mission is already in progress")
+        self._current = MissionStats(index=self._mission_index)
+        self._io_snapshot = io.snapshot()
+        self._clock_snapshot = clock_now
+
+    def end_mission(self, io: IOCounters, clock_now: float) -> MissionStats:
+        """Close the current mission window and return its stats."""
+        if self._current is None:
+            raise RuntimeError("no mission in progress")
+        mission = self._current
+        assert self._io_snapshot is not None
+        mission.io = io.diff(self._io_snapshot)
+        mission.sim_duration = clock_now - self._clock_snapshot
+        self.completed.append(mission)
+        self._mission_index += 1
+        self._current = None
+        self._io_snapshot = None
+        return mission
+
+    # ------------------------------------------------------------------
+    # Cost attribution (called by the tree)
+    # ------------------------------------------------------------------
+    def add_read(self, level_no: int, seconds: float) -> None:
+        """Attribute lookup-path time to ``level_no``."""
+        self.total_read_time += seconds
+        self.level_read_time[level_no] = (
+            self.level_read_time.get(level_no, 0.0) + seconds
+        )
+        if self._current is not None:
+            self._current.read_time += seconds
+            self._current.level_read_time[level_no] = (
+                self._current.level_read_time.get(level_no, 0.0) + seconds
+            )
+
+    def add_write(self, level_no: int, seconds: float) -> None:
+        """Attribute write-path (flush/compaction) time to ``level_no``."""
+        self.total_write_time += seconds
+        self.level_write_time[level_no] = (
+            self.level_write_time.get(level_no, 0.0) + seconds
+        )
+        if self._current is not None:
+            self._current.write_time += seconds
+            self._current.level_write_time[level_no] = (
+                self._current.level_write_time.get(level_no, 0.0) + seconds
+            )
+
+    def count_lookup(self, n: int = 1) -> None:
+        self.total_lookups += n
+        if self._current is not None:
+            self._current.n_lookups += n
+
+    def count_update(self, n: int = 1) -> None:
+        self.total_updates += n
+        if self._current is not None:
+            self._current.n_updates += n
+
+    def count_range(self, n: int = 1) -> None:
+        self.total_ranges += n
+        if self._current is not None:
+            self._current.n_ranges += n
+
+    def add_model_update_time(self, seconds: float) -> None:
+        """Record tuning-model (RL) update time for the current mission
+        (paper Figure 13 measures this against LSM operation time)."""
+        if self._current is not None:
+            self._current.model_update_time += seconds
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        return self.total_read_time + self.total_write_time
+
+    @property
+    def total_operations(self) -> int:
+        return self.total_lookups + self.total_updates + self.total_ranges
+
+    def level_time(self, level_no: int) -> float:
+        return self.level_read_time.get(level_no, 0.0) + self.level_write_time.get(
+            level_no, 0.0
+        )
+
+    def recent_missions(self, n: int) -> List[MissionStats]:
+        """The last ``n`` completed missions (fewer if not yet available)."""
+        if n <= 0:
+            return []
+        return self.completed[-n:]

@@ -1,0 +1,69 @@
+"""Compaction-policy transition strategies (paper Section 4).
+
+Three ways to move a level from policy ``K`` to ``K'``:
+
+* :class:`GreedyTransition` — merge all the level's data into the next level
+  right away, then rebuild under ``K'`` (Dayan & Idreos' extended
+  discussion). Amortized immediate cost ``C/2B`` I/Os, zero delay.
+* :class:`LazyTransition` — record ``K'`` and apply it only when the level
+  next empties through a full-level compaction. Zero immediate cost, but the
+  change is delayed by ``C/(2·N_u·E)`` seconds on average, starving the RL
+  model of timely feedback.
+* :class:`FlexibleTransition` — the FLSM-tree's method: only the active
+  run's capacity changes (shrinking may seal it immediately). Zero cost,
+  zero delay.
+
+All three share one interface so tuners can be parameterized by strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import TransitionKind
+from repro.lsm.tree import LSMTree
+
+
+class TransitionStrategy:
+    """Applies policy changes to a tree. Subclasses pick the mechanism."""
+
+    kind: TransitionKind
+
+    def apply(self, tree: LSMTree, level_no: int, new_policy: int) -> None:
+        """Move ``level_no`` of ``tree`` to ``new_policy``."""
+        tree.set_policy(level_no, new_policy, self.kind)
+
+    def apply_all(self, tree: LSMTree, new_policies: Sequence[int]) -> None:
+        """Move levels ``1..len(new_policies)`` to the given policies."""
+        tree.set_policies(list(new_policies), self.kind)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class GreedyTransition(TransitionStrategy):
+    """Flush-then-rebuild transition; costly but immediate."""
+
+    kind = TransitionKind.GREEDY
+
+
+class LazyTransition(TransitionStrategy):
+    """Deferred transition; free but slow to take effect."""
+
+    kind = TransitionKind.LAZY
+
+
+class FlexibleTransition(TransitionStrategy):
+    """The FLSM-tree transition; free and immediate."""
+
+    kind = TransitionKind.FLEXIBLE
+
+
+def make_transition(kind: TransitionKind) -> TransitionStrategy:
+    """Instantiate the strategy for ``kind``."""
+    strategies = {
+        TransitionKind.GREEDY: GreedyTransition,
+        TransitionKind.LAZY: LazyTransition,
+        TransitionKind.FLEXIBLE: FlexibleTransition,
+    }
+    return strategies[kind]()

@@ -1,0 +1,549 @@
+"""The LSM-tree engine.
+
+:class:`LSMTree` implements the full storage engine of the reproduction:
+memtable, levels of sorted runs, Bloom-filtered lookups, fence-pointer page
+reads, level-granularity compaction (the granularity used throughout the
+paper's analysis and its Figure 10 micro-benchmark), range scans, and
+per-level compaction policies ``K_i ∈ [1, T]`` in the style of Dostoevsky.
+
+The same engine serves both the classic tree and the FLSM-tree: structurally
+an FLSM-tree is an LSM-tree whose levels tolerate differently sized sealed
+runs, which this engine always supports. What distinguishes the designs is
+*how policy transitions are applied* — see :mod:`repro.lsm.transitions` and
+the :class:`repro.lsm.flsm.FLSMTree` facade.
+
+Cost attribution rule (see DESIGN.md §5): all I/O of a compaction that
+writes into level *i* is charged to level *i* as write time; lookup probes
+are charged to the level probed as read time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bloom.allocation import allocate_fprs
+from repro.config import SystemConfig, TransitionKind
+from repro.errors import KeyNotFoundError, PolicyError, TreeStateError
+from repro.lsm.entry import TOMBSTONE, merge_sorted_sources, validate_value
+from repro.lsm.level import Level
+from repro.lsm.memtable import MemTable
+from repro.lsm.run import SortedRun
+from repro.lsm.stats import BUFFER_LEVEL, StatsCollector
+from repro.storage.cache import LRUBlockCache
+from repro.storage.clock import SimClock
+from repro.storage.pager import DiskModel
+
+
+class LSMTree:
+    """A simulated LSM-tree key-value store with per-level policies."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        clock: Optional[SimClock] = None,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock if clock is not None else SimClock()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.cache = LRUBlockCache(config.block_cache_pages)
+        self.disk = DiskModel(config.costs, self.clock, self.cache)
+        self.memtable = MemTable(config.buffer_capacity_entries)
+        self.levels: List[Level] = []
+        self._rng = np.random.default_rng(config.seed)
+        self._next_run_id = 0
+        #: Current Bloom budget; adjustable at runtime (paper §7 names
+        #: Bloom memory allocation as a future tuning dimension).
+        self.bits_per_key = float(config.bits_per_key)
+        self._fpr_depth = 0  # depth the cached FPR allocation was computed for
+
+    # ------------------------------------------------------------------
+    # Structure management
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def level(self, level_no: int) -> Level:
+        """The :class:`Level` object for 1-based ``level_no``."""
+        if not 1 <= level_no <= len(self.levels):
+            raise TreeStateError(
+                f"level {level_no} does not exist (tree has {len(self.levels)})"
+            )
+        return self.levels[level_no - 1]
+
+    def policies(self) -> List[int]:
+        """Current compaction policy of each level, shallow to deep."""
+        return [level.policy for level in self.levels]
+
+    @property
+    def total_entries(self) -> int:
+        return len(self.memtable) + sum(l.data_entries for l in self.levels)
+
+    def _refresh_fprs(self) -> None:
+        """Recompute per-level FPRs when the tree grows a level.
+
+        Existing runs keep the filter they were built with (as a real system
+        would until the next compaction rebuilds them); new runs pick up the
+        refreshed allocation.
+        """
+        depth = len(self.levels)
+        if depth == 0 or depth == self._fpr_depth:
+            return
+        fprs = allocate_fprs(
+            self.config.bloom_scheme,
+            self.bits_per_key,
+            depth,
+            self.config.size_ratio,
+        )
+        for level, fpr in zip(self.levels, fprs):
+            level.fpr = fpr
+        self._fpr_depth = depth
+
+    def set_bits_per_key(self, bits_per_key: float) -> None:
+        """Change the Bloom filter budget at runtime.
+
+        Existing runs keep the filters they were built with (a real system
+        rebuilds filters at the next compaction); new runs use the refreshed
+        per-level FPR allocation immediately.
+        """
+        if bits_per_key <= 0:
+            raise TreeStateError(
+                f"bits_per_key must be > 0, got {bits_per_key}"
+            )
+        self.bits_per_key = float(bits_per_key)
+        self._fpr_depth = 0  # force re-allocation at the current depth
+        self._refresh_fprs()
+
+    def _ensure_level(self, level_no: int) -> Level:
+        """Create levels up to ``level_no`` (with the initial policy) if the
+        tree is not yet that deep."""
+        grew = False
+        while len(self.levels) < level_no:
+            next_no = len(self.levels) + 1
+            self.levels.append(
+                Level(
+                    level_no=next_no,
+                    capacity_entries=self.config.level_capacity_entries(next_no),
+                    policy=self.config.initial_policy,
+                    fpr=1.0,  # refreshed below
+                    max_policy=self.config.size_ratio,
+                )
+            )
+            grew = True
+        if grew:
+            self._refresh_fprs()
+        return self.levels[level_no - 1]
+
+    def _new_run(
+        self,
+        level: Level,
+        keys: np.ndarray,
+        values: np.ndarray,
+        capacity_entries: int,
+        sealed: bool = False,
+    ) -> SortedRun:
+        run = SortedRun(
+            run_id=self._next_run_id,
+            level_no=level.level_no,
+            keys=keys,
+            values=values,
+            fpr=level.fpr,
+            capacity_entries=capacity_entries,
+            entries_per_page=self.config.entries_per_page,
+            bloom_mode=self.config.bloom_mode,
+            rng=self._rng,
+            sealed=sealed,
+        )
+        self._next_run_id += 1
+        return run
+
+    # ------------------------------------------------------------------
+    # Public write path
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite a key-value entry."""
+        validate_value(value)
+        self.stats.count_update()
+        self.memtable.put(key, value)
+        if self.memtable.is_full:
+            self._flush()
+
+    def delete(self, key: int) -> None:
+        """Delete a key (by writing a tombstone)."""
+        self.stats.count_update()
+        self.memtable.delete(key)
+        if self.memtable.is_full:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Drain the memtable into Level 1's active run."""
+        keys, values = self.memtable.drain_sorted()
+        if len(keys) == 0:
+            return
+        self._admit(1, [(keys, values)], source_pages=0)
+
+    def _admit(
+        self,
+        level_no: int,
+        sources: Sequence[Tuple[np.ndarray, np.ndarray]],
+        source_pages: int,
+    ) -> None:
+        """Merge ``sources`` (oldest → newest) into ``level_no``'s active run.
+
+        ``source_pages`` is how many pages the incoming data occupies on disk
+        (0 for a memtable flush, which arrives from memory). All compaction
+        I/O and CPU is charged to ``level_no`` as write time.
+        """
+        level = self._ensure_level(level_no)
+        active = level.active_run
+        merge_inputs: List[Tuple[np.ndarray, np.ndarray]] = []
+        read_pages = source_pages
+        n_input_entries = sum(len(k) for k, _ in sources)
+        if active is not None:
+            merge_inputs.append((active.keys, active.values))
+            read_pages += active.n_pages
+            n_input_entries += active.n_entries
+        merge_inputs.extend(sources)
+
+        levels_below = self.levels[level_no:]
+        is_bottom = all(l.is_empty for l in levels_below)
+        keys, values = merge_sorted_sources(
+            [k for k, _ in merge_inputs],
+            [v for _, v in merge_inputs],
+            drop_tombstones=is_bottom,
+        )
+
+        cost = self.disk.sequential_read(read_pages)
+        cost += self.disk.compaction_cpu(n_input_entries)
+        cost += self.disk.sequential_write(self.config.pages_for_entries(len(keys)))
+        self.stats.add_write(level_no, cost)
+
+        new_run = self._new_run(
+            level, keys, values, capacity_entries=level.active_run_capacity()
+        )
+        replaced = level.replace_active(new_run)
+        if replaced is not None:
+            self.disk.drop_run(replaced.run_id)
+
+        if level.is_full:
+            self._merge_level_down(level_no)
+
+    def _merge_level_down(self, level_no: int) -> None:
+        """Merge *all* runs of ``level_no`` into level ``level_no + 1``.
+
+        Triggered when a level reaches its capacity (paper Section 2: "All
+        entries in a level are eventually merged and flushed down to the next
+        level when the level reaches its capacity"), and by the greedy
+        transition via :meth:`force_merge_level`.
+        """
+        level = self.level(level_no)
+        if level.is_empty:
+            level.drop_all_runs()  # still applies a pending lazy policy
+            return
+        runs = list(level.runs)  # oldest → newest
+        total_pages = sum(run.n_pages for run in runs)
+        sources = [(run.keys, run.values) for run in runs]
+        for run in level.drop_all_runs():
+            self.disk.drop_run(run.run_id)
+        self._admit(level_no + 1, sources, source_pages=total_pages)
+
+    def force_merge_level(self, level_no: int) -> None:
+        """Immediately flush all data of ``level_no`` into the next level
+        (the greedy transition's data movement)."""
+        self._merge_level_down(level_no)
+
+    def rebuild_level_in_place(self, level_no: int) -> None:
+        """Rewrite all of ``level_no``'s data as one fresh run at the same
+        level (the greedy transition's rebuild for the *bottom* level:
+        merging the deepest level "into the next level" would grow the tree
+        and artificially defer its compactions, which no real system does
+        for a policy change)."""
+        level = self.level(level_no)
+        if level.is_empty:
+            level.drop_all_runs()
+            return
+        runs = list(level.runs)
+        total_pages = sum(run.n_pages for run in runs)
+        n_entries = level.data_entries
+        sources = [(run.keys, run.values) for run in runs]
+        is_bottom = all(l.is_empty for l in self.levels[level_no:])
+        keys, values = merge_sorted_sources(
+            [k for k, _ in sources],
+            [v for _, v in sources],
+            drop_tombstones=is_bottom,
+        )
+        cost = self.disk.sequential_read(total_pages)
+        cost += self.disk.compaction_cpu(n_entries)
+        cost += self.disk.sequential_write(self.config.pages_for_entries(len(keys)))
+        self.stats.add_write(level_no, cost)
+        for run in level.drop_all_runs():
+            self.disk.drop_run(run.run_id)
+        rebuilt = self._new_run(
+            level, keys, values, capacity_entries=level.active_run_capacity()
+        )
+        level.replace_active(rebuilt)
+
+    # ------------------------------------------------------------------
+    # Public read path
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[int]:
+        """Latest value for ``key``, or ``None`` if absent or deleted."""
+        self.stats.count_lookup()
+        key = int(key)
+        buffered = self.memtable.get(key)
+        if buffered is not None:
+            return None if buffered == TOMBSTONE else buffered
+        for level in self.levels:
+            for run in reversed(level.runs):  # newest first within a level
+                probe_cost = self.disk.probe_cpu(1)
+                self.stats.add_read(level.level_no, probe_cost)
+                if not run.bloom_positive(key):
+                    continue
+                found, value, page = run.find(key)
+                io_cost = self.disk.random_read(run.run_id, page)
+                self.stats.add_read(level.level_no, io_cost)
+                if found:
+                    return None if value == TOMBSTONE else value
+        return None
+
+    def get_strict(self, key: int) -> int:
+        """Like :meth:`get` but raises :class:`KeyNotFoundError` on a miss."""
+        value = self.get(key)
+        if value is None:
+            raise KeyNotFoundError(int(key))
+        return value
+
+    def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized point lookups.
+
+        Returns ``(found_mask, values)`` aligned with ``keys``. Semantically
+        equivalent to calling :meth:`get` per key against the same tree
+        state; the probe order (newest run first) and all cost charging are
+        identical, just batched per run.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = len(keys)
+        self.stats.count_lookup(n)
+        values = np.zeros(n, dtype=np.int64)
+        resolved = np.zeros(n, dtype=bool)
+        found = np.zeros(n, dtype=bool)
+
+        for i in range(n):
+            buffered = self.memtable.get(int(keys[i]))
+            if buffered is not None:
+                resolved[i] = True
+                if buffered != TOMBSTONE:
+                    found[i] = True
+                    values[i] = buffered
+
+        pending = np.flatnonzero(~resolved)
+        for level in self.levels:
+            if len(pending) == 0:
+                break
+            for run in reversed(level.runs):
+                if len(pending) == 0:
+                    break
+                probe_cost = self.disk.probe_cpu(len(pending))
+                self.stats.add_read(level.level_no, probe_cost)
+                positives = run.bloom_positive_batch(keys[pending])
+                if not positives.any():
+                    continue
+                probe_idx = pending[positives]
+                hit, hit_values, pages = run.find_batch(keys[probe_idx])
+                io_cost = self.disk.random_read_batch(run.run_id, pages)
+                self.stats.add_read(level.level_no, io_cost)
+                if hit.any():
+                    hit_idx = probe_idx[hit]
+                    resolved[hit_idx] = True
+                    real = hit_values[hit] != TOMBSTONE
+                    found[hit_idx] = real
+                    values[hit_idx[real]] = hit_values[hit][real]
+                    pending = pending[~np.isin(pending, hit_idx, assume_unique=True)]
+        return found, values
+
+    def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """All live entries with ``lo <= key <= hi`` as ``(key, value)``
+        pairs in key order."""
+        if lo > hi:
+            raise ValueError(f"empty range: lo={lo} > hi={hi}")
+        self.stats.count_range()
+        key_arrays: List[np.ndarray] = []
+        value_arrays: List[np.ndarray] = []
+        # Oldest sources first so merge_sorted_sources keeps the newest value.
+        for level in reversed(self.levels):
+            for run in level.runs:  # within a level: oldest → newest
+                probe_cost = self.disk.probe_cpu(1)
+                self.stats.add_read(level.level_no, probe_cost)
+                run_keys, run_values, n_pages = run.range_slice(lo, hi)
+                if n_pages:
+                    io_cost = self.disk.sequential_read(n_pages)
+                    self.stats.add_read(level.level_no, io_cost)
+                if len(run_keys):
+                    key_arrays.append(run_keys)
+                    value_arrays.append(run_values)
+        buffered = self.memtable.range_items(lo, hi)
+        if buffered:
+            mk = np.fromiter(buffered.keys(), dtype=np.int64, count=len(buffered))
+            mv = np.fromiter(buffered.values(), dtype=np.int64, count=len(buffered))
+            order = np.argsort(mk, kind="stable")
+            key_arrays.append(mk[order])
+            value_arrays.append(mv[order])
+        keys, values = merge_sorted_sources(
+            key_arrays, value_arrays, drop_tombstones=True
+        )
+        return list(zip(keys.tolist(), values.tolist()))
+
+    # ------------------------------------------------------------------
+    # Policy control
+    # ------------------------------------------------------------------
+    def set_policy(
+        self, level_no: int, new_policy: int, transition: TransitionKind
+    ) -> None:
+        """Change the compaction policy of one level using ``transition``."""
+        level = self._ensure_level(level_no)
+        if transition is TransitionKind.FLEXIBLE:
+            level.set_policy_flexible(new_policy)
+        elif transition is TransitionKind.LAZY:
+            level.set_policy_lazy(new_policy)
+        elif transition is TransitionKind.GREEDY:
+            if new_policy != level.policy and not level.is_empty:
+                deeper_empty = all(l.is_empty for l in self.levels[level_no:])
+                if deeper_empty:
+                    self.rebuild_level_in_place(level_no)
+                else:
+                    self.force_merge_level(level_no)
+            level.set_policy_immediate(new_policy)
+        else:
+            raise PolicyError(f"unknown transition kind: {transition!r}")
+
+    def set_policies(
+        self, new_policies: Sequence[int], transition: TransitionKind
+    ) -> None:
+        """Set the policy of levels ``1..len(new_policies)`` at once.
+
+        Greedy transitions are applied deepest-first so the cascade of forced
+        merges does not invalidate shallower levels' pending changes.
+        """
+        indices = range(len(new_policies), 0, -1)
+        for level_no in indices:
+            self.set_policy(level_no, new_policies[level_no - 1], transition)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        distribute: bool = False,
+    ) -> None:
+        """Populate an empty tree without charging simulated time.
+
+        By default all entries form one sealed run in the shallowest level
+        that can hold them (what an offline bulk load produces). With
+        ``distribute=True`` entries are spread bottom-up across levels to
+        mimic a steady-state tree.
+        """
+        if self.total_entries:
+            raise TreeStateError("bulk_load requires an empty tree")
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        keys, values = merge_sorted_sources([keys], [values])
+        n = len(keys)
+        if n == 0:
+            return
+        bottom_no = 1
+        while self.config.level_capacity_entries(bottom_no) < n:
+            bottom_no += 1
+        self._ensure_level(bottom_no)
+        if not distribute:
+            bottom = self.level(bottom_no)
+            run = self._new_run(
+                bottom, keys, values,
+                capacity_entries=bottom.active_run_capacity(), sealed=True,
+            )
+            bottom.runs.append(run)
+            return
+        # Steady-state layout: a long-running store keeps each shallow level
+        # about half full on average (they drain into the next level every
+        # time they fill), with the bulk of the data resident at the bottom.
+        # Fill levels 1..bottom-1 to ~50% and give the remainder to the
+        # bottom level (which by construction can hold all n entries). Each
+        # level's share is split into the number of sealed runs its policy
+        # would have accumulated at that fill.
+        shallow_fill = 0.5
+        shares = {}
+        left = n
+        for level_no in range(1, bottom_no):
+            capacity = self.config.level_capacity_entries(level_no)
+            take = min(left, max(1, int(shallow_fill * capacity)))
+            if take <= 0:
+                break
+            shares[level_no] = take
+            left -= take
+            if left <= 0:
+                break
+        if left > 0:
+            shares[bottom_no] = left
+        remaining = np.arange(n)
+        self._rng.shuffle(remaining)
+        cursor = 0
+        for level_no in sorted(shares, reverse=True):
+            take = shares[level_no]
+            level = self.level(level_no)
+            capacity = self.config.level_capacity_entries(level_no)
+            chosen = remaining[cursor : cursor + take]
+            cursor += take
+            fill = take / capacity
+            n_runs = max(1, round(level.policy * fill))
+            run_capacity = level.active_run_capacity()
+            for chunk in np.array_split(chosen, n_runs):
+                if len(chunk) == 0:
+                    continue
+                ordered = np.sort(chunk)
+                run = self._new_run(
+                    level,
+                    keys[ordered],
+                    values[ordered],
+                    capacity_entries=run_capacity,
+                    sealed=True,
+                )
+                level.runs.append(run)
+
+    # ------------------------------------------------------------------
+    # Introspection & invariants
+    # ------------------------------------------------------------------
+    def describe(self) -> List[Dict[str, object]]:
+        """A structural snapshot for debugging and examples."""
+        return [
+            {
+                "level": level.level_no,
+                "policy": level.policy,
+                "pending_policy": level.pending_policy,
+                "runs": level.n_runs,
+                "entries": level.data_entries,
+                "capacity": level.capacity_entries,
+                "fill": round(level.fill_ratio, 4),
+                "fpr": level.fpr,
+            }
+            for level in self.levels
+        ]
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises :class:`TreeStateError`."""
+        for level in self.levels:
+            level.check_invariants()
+            if level.data_entries > level.capacity_entries:
+                raise TreeStateError(
+                    f"level {level.level_no} over capacity: "
+                    f"{level.data_entries} > {level.capacity_entries}"
+                )
+        if len(self.memtable) > self.memtable.capacity_entries:
+            raise TreeStateError("memtable over capacity")
+
+    def read_amplification_snapshot(self) -> Dict[int, int]:
+        """Number of runs per level (a proxy for worst-case read amp)."""
+        return {level.level_no: level.n_runs for level in self.levels}

@@ -1,0 +1,24 @@
+"""Reinforcement-learning substrate: networks, optimizers, replay, agents."""
+
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.nn import MLP, Linear, ReLU, Tanh
+from repro.rl.noise import GaussianNoise, OrnsteinUhlenbeckNoise
+from repro.rl.optim import SGD, Adam
+from repro.rl.replay import ReplayBuffer
+
+__all__ = [
+    "MLP",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Adam",
+    "SGD",
+    "ReplayBuffer",
+    "OrnsteinUhlenbeckNoise",
+    "GaussianNoise",
+    "DDPGAgent",
+    "DDPGConfig",
+    "DQNAgent",
+    "DQNConfig",
+]

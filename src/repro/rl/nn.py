@@ -1,0 +1,184 @@
+"""Minimal dense neural networks with manual backpropagation.
+
+The paper implements Lerp's actor and critic with PyTorch ("a three-layer
+fully-connected neural network with 128 neurons per layer using ReLU").
+PyTorch is not available offline, so this module provides the equivalent
+building blocks on numpy: linear layers, ReLU/Tanh activations, an
+:class:`MLP` container that back-propagates gradients both to parameters and
+to its *input* (the latter is what DDPG's actor update needs: ∂Q/∂a flows
+through the critic's input into the actor).
+
+All arrays are float64, batch-first (``x.shape == (batch, features)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RLError
+
+
+class Layer:
+    """Interface for a differentiable layer."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. this layer's input; accumulates parameter grads."""
+        raise NotImplementedError
+
+    def params(self) -> List[np.ndarray]:
+        return []
+
+    def grads(self) -> List[np.ndarray]:
+        return []
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x @ W + b`` with He initialization."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        if in_dim < 1 or out_dim < 1:
+            raise RLError(f"invalid Linear dims: {in_dim} -> {out_dim}")
+        scale = np.sqrt(2.0 / in_dim)
+        self.weight = rng.normal(0.0, scale, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RLError("backward called before forward")
+        self.grad_weight += self._x.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def params(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RLError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation (used on the actor's output so actions
+    live in [-1, 1])."""
+
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RLError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class MLP:
+    """A feed-forward stack of Linear layers with hidden activations.
+
+    ``hidden`` lists the hidden layer widths; ``output_activation`` may be
+    ``None`` (identity, e.g. critics) or ``"tanh"`` (actors).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: Sequence[int],
+        out_dim: int,
+        rng: np.random.Generator,
+        output_activation: Optional[str] = None,
+    ) -> None:
+        self.layers: List[Layer] = []
+        previous = in_dim
+        for width in hidden:
+            self.layers.append(Linear(previous, width, rng))
+            self.layers.append(ReLU())
+            previous = width
+        self.layers.append(Linear(previous, out_dim, rng))
+        if output_activation == "tanh":
+            self.layers.append(Tanh())
+        elif output_activation is not None:
+            raise RLError(f"unknown output activation: {output_activation!r}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_dim:
+            raise RLError(
+                f"MLP expected input dim {self.in_dim}, got {x.shape[1]}"
+            )
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_out`` (dL/dy) through the network.
+
+        Returns dL/dx — the gradient with respect to the *input* of the most
+        recent :meth:`forward` call. Parameter gradients accumulate until
+        :meth:`zero_grad`.
+        """
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads()]
+
+    def zero_grad(self) -> None:
+        for grad in self.grads():
+            grad.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # Parameter vector utilities (target networks, tests)
+    # ------------------------------------------------------------------
+    def copy_params_from(self, other: "MLP") -> None:
+        """Hard copy of every parameter from ``other`` (same architecture)."""
+        for mine, theirs in zip(self.params(), other.params()):
+            if mine.shape != theirs.shape:
+                raise RLError("cannot copy params between different shapes")
+            mine[...] = theirs
+
+    def soft_update_from(self, other: "MLP", tau: float) -> None:
+        """Polyak averaging: ``θ ← τ·θ_other + (1-τ)·θ`` (DDPG targets)."""
+        if not 0.0 <= tau <= 1.0:
+            raise RLError(f"tau must be in [0, 1], got {tau}")
+        for mine, theirs in zip(self.params(), other.params()):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.params())

@@ -1,0 +1,66 @@
+"""Gradient-descent optimizers for the numpy networks."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import RLError
+
+
+class SGD:
+    """Plain stochastic gradient descent (kept for tests and ablations)."""
+
+    def __init__(self, params: List[np.ndarray], grads: List[np.ndarray], lr: float) -> None:
+        if lr <= 0:
+            raise RLError(f"lr must be > 0, got {lr}")
+        if len(params) != len(grads):
+            raise RLError("params and grads must align")
+        self._params = params
+        self._grads = grads
+        self.lr = lr
+
+    def step(self) -> None:
+        for param, grad in zip(self._params, self._grads):
+            param -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba) over a fixed list of parameter arrays."""
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        grads: List[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise RLError(f"lr must be > 0, got {lr}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise RLError("betas must be in [0, 1)")
+        if len(params) != len(grads):
+            raise RLError("params and grads must align")
+        self._params = params
+        self._grads = grads
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self._params, self._grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,85 @@
+"""Experience replay buffer.
+
+RusKey's Lerp stores "experience samples" — quadruples of (state, action,
+reward, next state) extracted from mission statistics — in a replay buffer
+and samples mini-batches for actor-critic updates (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import RLError
+
+
+class ReplayBuffer:
+    """Circular buffer of transitions with uniform sampling."""
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        action_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if capacity < 1:
+            raise RLError(f"capacity must be >= 1, got {capacity}")
+        if state_dim < 1 or action_dim < 1:
+            raise RLError("state_dim and action_dim must be >= 1")
+        self.capacity = capacity
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros((capacity, action_dim))
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, state_dim))
+        self._dones = np.zeros(capacity)
+        self._rng = rng
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> None:
+        """Append one transition, overwriting the oldest when full."""
+        i = self._cursor
+        self._states[i] = state
+        self._actions[i] = action
+        self._rewards[i] = reward
+        self._next_states[i] = next_state
+        self._dones[i] = float(done)
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(
+        self, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniformly sample ``batch_size`` transitions (with replacement)."""
+        if self._size == 0:
+            raise RLError("cannot sample from an empty replay buffer")
+        if batch_size < 1:
+            raise RLError(f"batch_size must be >= 1, got {batch_size}")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[idx],
+            self._actions[idx],
+            self._rewards[idx],
+            self._next_states[idx],
+            self._dones[idx],
+        )
+
+    def clear(self) -> None:
+        self._size = 0
+        self._cursor = 0

@@ -1,0 +1,7 @@
+"""Simulated storage substrate: clock, disk cost model and block cache."""
+
+from repro.storage.cache import LRUBlockCache
+from repro.storage.clock import SimClock
+from repro.storage.pager import DiskModel, IOCounters
+
+__all__ = ["SimClock", "LRUBlockCache", "DiskModel", "IOCounters"]

@@ -1,0 +1,176 @@
+"""Simulated disk with page-granularity cost accounting.
+
+:class:`DiskModel` is the substitute for the paper's NVMe SSD accessed with
+direct I/O. It does not store page contents (run data lives in numpy arrays
+owned by the runs themselves); it *prices* page accesses and keeps the I/O
+counters that the statistics collector and the RL state vector consume.
+
+Random reads model point-lookup page fetches (the paper's ``I_r``); random
+writes model metadata/WAL-style writes (``I_w``); sequential reads and writes
+model compaction traffic, which streams large sorted runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CostModelParams
+from repro.errors import StorageError
+from repro.storage.cache import LRUBlockCache
+from repro.storage.clock import SimClock
+
+
+@dataclass
+class IOCounters:
+    """Cumulative page-level I/O counts."""
+
+    random_reads: int = 0
+    random_writes: int = 0
+    seq_reads: int = 0
+    seq_writes: int = 0
+
+    @property
+    def total_reads(self) -> int:
+        return self.random_reads + self.seq_reads
+
+    @property
+    def total_writes(self) -> int:
+        return self.random_writes + self.seq_writes
+
+    @property
+    def total(self) -> int:
+        return self.total_reads + self.total_writes
+
+    def snapshot(self) -> "IOCounters":
+        """An independent copy of the current counters."""
+        return IOCounters(
+            random_reads=self.random_reads,
+            random_writes=self.random_writes,
+            seq_reads=self.seq_reads,
+            seq_writes=self.seq_writes,
+        )
+
+    def diff(self, earlier: "IOCounters") -> "IOCounters":
+        """Counters accumulated since ``earlier`` (an older snapshot)."""
+        return IOCounters(
+            random_reads=self.random_reads - earlier.random_reads,
+            random_writes=self.random_writes - earlier.random_writes,
+            seq_reads=self.seq_reads - earlier.seq_reads,
+            seq_writes=self.seq_writes - earlier.seq_writes,
+        )
+
+
+class DiskModel:
+    """Prices page accesses on the simulated device and advances the clock.
+
+    Each accessor returns the simulated seconds charged so that callers can
+    attribute the cost to a specific LSM level.
+    """
+
+    def __init__(
+        self,
+        costs: CostModelParams,
+        clock: SimClock,
+        cache: LRUBlockCache | None = None,
+    ) -> None:
+        self._costs = costs
+        self._clock = clock
+        self._cache = cache if cache is not None else LRUBlockCache(0)
+        self.counters = IOCounters()
+
+    @property
+    def cache(self) -> LRUBlockCache:
+        return self._cache
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Point I/O (lookups)
+    # ------------------------------------------------------------------
+    def random_read(self, run_id: int, page_index: int) -> float:
+        """Read one page of ``run_id`` at random; cached pages cost nothing."""
+        if page_index < 0:
+            raise StorageError(f"page_index must be >= 0, got {page_index}")
+        if self._cache.access((run_id, page_index)):
+            return 0.0
+        self.counters.random_reads += 1
+        cost = self._costs.random_read_s
+        self._clock.advance(cost)
+        return cost
+
+    def random_read_batch(self, run_id: int, page_indices) -> float:
+        """Read several pages of one run; returns total charged seconds.
+
+        With no cache configured, the whole batch is priced in one step; with
+        a cache, pages are checked individually in order.
+        """
+        n = len(page_indices)
+        if n == 0:
+            return 0.0
+        if self._cache.capacity == 0:
+            self._cache.misses += n
+            self.counters.random_reads += n
+            cost = n * self._costs.random_read_s
+            self._clock.advance(cost)
+            return cost
+        total = 0.0
+        for page_index in page_indices:
+            total += self.random_read(run_id, int(page_index))
+        return total
+
+    def random_write(self, n_pages: int = 1) -> float:
+        """Write ``n_pages`` pages at random offsets."""
+        if n_pages < 0:
+            raise StorageError(f"n_pages must be >= 0, got {n_pages}")
+        self.counters.random_writes += n_pages
+        cost = n_pages * self._costs.random_write_s
+        self._clock.advance(cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # Streaming I/O (flush / compaction)
+    # ------------------------------------------------------------------
+    def sequential_read(self, n_pages: int) -> float:
+        """Stream-read ``n_pages`` pages (compaction input)."""
+        if n_pages < 0:
+            raise StorageError(f"n_pages must be >= 0, got {n_pages}")
+        self.counters.seq_reads += n_pages
+        cost = n_pages * self._costs.seq_read_s
+        self._clock.advance(cost)
+        return cost
+
+    def sequential_write(self, n_pages: int) -> float:
+        """Stream-write ``n_pages`` pages (flush or compaction output)."""
+        if n_pages < 0:
+            raise StorageError(f"n_pages must be >= 0, got {n_pages}")
+        self.counters.seq_writes += n_pages
+        cost = n_pages * self._costs.seq_write_s
+        self._clock.advance(cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    # CPU work (still advances the simulated clock)
+    # ------------------------------------------------------------------
+    def probe_cpu(self, n_runs: int = 1) -> float:
+        """CPU cost of probing the metadata of ``n_runs`` sorted runs
+        (the paper's ``c_r``)."""
+        if n_runs < 0:
+            raise StorageError(f"n_runs must be >= 0, got {n_runs}")
+        cost = n_runs * self._costs.run_probe_cpu_s
+        self._clock.advance(cost)
+        return cost
+
+    def compaction_cpu(self, n_entries: int) -> float:
+        """CPU cost of merge-sorting ``n_entries`` entries (the paper's
+        ``c_w``)."""
+        if n_entries < 0:
+            raise StorageError(f"n_entries must be >= 0, got {n_entries}")
+        cost = n_entries * self._costs.compaction_entry_cpu_s
+        self._clock.advance(cost)
+        return cost
+
+    def drop_run(self, run_id: int) -> None:
+        """Forget cached pages of a run deleted by compaction."""
+        self._cache.invalidate_run(run_id)

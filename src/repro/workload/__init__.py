@@ -1,0 +1,37 @@
+"""Workload generation: uniform, Zipfian/YCSB, dynamic schedules, traces."""
+
+from repro.workload.dynamic import (
+    DynamicWorkload,
+    WorkloadPhase,
+    paper_dynamic_workload,
+)
+from repro.workload.spec import (
+    OP_LOOKUP,
+    OP_RANGE,
+    OP_UPDATE,
+    Mission,
+    WorkloadSpec,
+    mission_from_mix,
+)
+from repro.workload.trace import TraceRecorder, TraceWorkload
+from repro.workload.uniform import UniformWorkload
+from repro.workload.ycsb import YCSBWorkload
+from repro.workload.zipf import UniformSampler, ZipfianSampler
+
+__all__ = [
+    "Mission",
+    "WorkloadSpec",
+    "mission_from_mix",
+    "OP_LOOKUP",
+    "OP_UPDATE",
+    "OP_RANGE",
+    "UniformWorkload",
+    "YCSBWorkload",
+    "ZipfianSampler",
+    "UniformSampler",
+    "DynamicWorkload",
+    "WorkloadPhase",
+    "paper_dynamic_workload",
+    "TraceRecorder",
+    "TraceWorkload",
+]

@@ -1,0 +1,83 @@
+"""Uniform-key workloads (the paper's main experiment setting).
+
+"Each operation can be lookup or update, which consists of uniformly and
+randomly distributed keys and values" (Section 7). Operations draw keys
+uniformly from a fixed record space ``[0, n_records)``; the database is bulk
+loaded with all records first, so point lookups hit unless the workload is
+configured with a ``zero_result_fraction`` (those draw keys from outside the
+record space, exercising the Bloom-filter-dominated path the paper's cost
+analysis focuses on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.spec import Mission, WorkloadSpec, mission_from_mix
+
+
+class UniformWorkload(WorkloadSpec):
+    """Fixed lookup/update mix with uniformly distributed keys."""
+
+    def __init__(
+        self,
+        n_records: int,
+        lookup_fraction: float,
+        seed: int = 0,
+        zero_result_fraction: float = 0.0,
+        value_space: int = 2**31,
+        name: str = "",
+    ) -> None:
+        if n_records < 1:
+            raise WorkloadError(f"n_records must be >= 1, got {n_records}")
+        if not 0.0 <= lookup_fraction <= 1.0:
+            raise WorkloadError(
+                f"lookup_fraction must be in [0, 1], got {lookup_fraction}"
+            )
+        if not 0.0 <= zero_result_fraction <= 1.0:
+            raise WorkloadError(
+                f"zero_result_fraction must be in [0, 1], got {zero_result_fraction}"
+            )
+        self.n_records = n_records
+        self.lookup_fraction = lookup_fraction
+        self.zero_result_fraction = zero_result_fraction
+        self.value_space = value_space
+        self.seed = seed
+        self.name = name or f"uniform(γ={lookup_fraction:.2f})"
+
+    def expected_lookup_fraction(self, mission_index: int) -> float:
+        return self.lookup_fraction
+
+    def load_records(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The ``(keys, values)`` to bulk load before running the workload."""
+        rng = np.random.default_rng(self.seed ^ 0x5EED)
+        keys = np.arange(self.n_records, dtype=np.int64)
+        values = rng.integers(0, self.value_space, size=self.n_records, dtype=np.int64)
+        return keys, values
+
+    def missions(self, n_missions: int, mission_size: int) -> Iterator[Mission]:
+        rng = np.random.default_rng(self.seed)
+        for _ in range(n_missions):
+            update_keys = rng.integers(
+                0, self.n_records, size=mission_size, dtype=np.int64
+            )
+            lookup_keys = rng.integers(
+                0, self.n_records, size=mission_size, dtype=np.int64
+            )
+            if self.zero_result_fraction > 0.0:
+                missing = rng.random(mission_size) < self.zero_result_fraction
+                lookup_keys[missing] += self.n_records  # guaranteed absent
+            values = rng.integers(
+                0, self.value_space, size=mission_size, dtype=np.int64
+            )
+            yield mission_from_mix(
+                rng,
+                mission_size,
+                self.lookup_fraction,
+                update_keys,
+                lookup_keys,
+                values,
+            )

@@ -1,0 +1,216 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Experiment,
+    SystemSpec,
+    base_config,
+    bench_lerp_config,
+    bench_scale,
+    dynamic_workload_experiment,
+    format_latency_series,
+    format_per_level_latency,
+    format_policy_trace,
+    format_ranking_table,
+    format_summary,
+    rank_systems,
+    run_experiment,
+    run_system,
+    session_bounds,
+    session_rankings,
+    standard_systems,
+    static_workload_experiment,
+    ycsb_experiment,
+)
+from repro.bench.harness import SeriesResult
+from repro.config import BloomScheme, SystemConfig
+from repro.core.tuners import StaticTuner
+from repro.errors import ConfigError, WorkloadError
+from repro.lsm.stats import MissionStats
+from repro.workload.uniform import UniformWorkload
+
+
+def tiny_experiment(n_missions=6, systems=None):
+    config = SystemConfig(write_buffer_bytes=16 * 1024, seed=3)
+    workload = UniformWorkload(1500, lookup_fraction=0.5, seed=9)
+    return Experiment(
+        name="tiny",
+        workload=workload,
+        n_missions=n_missions,
+        mission_size=150,
+        base_config=config,
+        chunk_size=32,
+        systems=systems
+        or [
+            SystemSpec("K=1", lambda config: StaticTuner(1), 1),
+            SystemSpec("K=10", lambda config: StaticTuner(10), 10),
+        ],
+    )
+
+
+class TestHarness:
+    def test_run_system_collects_series(self):
+        experiment = tiny_experiment()
+        result = run_system(experiment, experiment.systems[0])
+        assert result.system == "K=1"
+        assert len(result.missions) == 6
+        assert result.latencies.shape == (6,)
+        assert (result.latencies > 0).all()
+        assert len(result.policy_history) == 6
+
+    def test_run_experiment_all_systems(self):
+        results = run_experiment(tiny_experiment())
+        assert set(results) == {"K=1", "K=10"}
+
+    def test_initial_policy_respected(self):
+        experiment = tiny_experiment()
+        result = run_system(experiment, experiment.systems[1])
+        assert all(k == 10 for k in result.policy_history[0])
+
+    def test_empty_systems_rejected(self):
+        experiment = tiny_experiment(systems=[])
+        experiment.systems = []
+        with pytest.raises(WorkloadError):
+            run_experiment(experiment)
+
+    def test_experiment_validation(self):
+        with pytest.raises(WorkloadError):
+            tiny_experiment(n_missions=0)
+
+    def test_rank_systems_orders_by_latency(self):
+        results = {
+            "fast": SeriesResult("fast", [self._mission(0.1)], [[1]]),
+            "slow": SeriesResult("slow", [self._mission(0.9)], [[1]]),
+        }
+        assert rank_systems(results) == ["fast", "slow"]
+
+    @staticmethod
+    def _mission(latency):
+        return MissionStats(
+            index=0, n_lookups=10, read_time=latency * 10, write_time=0.0
+        )
+
+    def test_session_rankings(self):
+        def series(values):
+            missions = [self._mission(v) for v in values]
+            return SeriesResult("x", missions, [[1]] * len(values))
+
+        results = {
+            "a": series([0.1] * 10),
+            "b": series([0.2] * 5 + [0.05] * 5),
+        }
+        ranks = session_rankings(results, [0, 5, 10], settle_fraction=0.5)
+        assert ranks["a"] == [1, 2]
+        assert ranks["b"] == [2, 1]
+
+    def test_session_rankings_validation(self):
+        with pytest.raises(WorkloadError):
+            session_rankings({}, [0])
+
+    def test_series_read_write_split(self):
+        experiment = tiny_experiment()
+        result = run_system(experiment, experiment.systems[0])
+        assert (result.read_latencies >= 0).all()
+        assert (result.write_latencies >= 0).all()
+        assert result.total_time() == pytest.approx(
+            float(result.read_latencies.sum() + result.write_latencies.sum())
+        )
+
+
+class TestExperimentConfigs:
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert bench_scale().name == "quick"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(ConfigError):
+            bench_scale()
+
+    def test_base_config_scheme_bits(self):
+        assert base_config(BloomScheme.UNIFORM).bits_per_key == 8.0
+        assert base_config(BloomScheme.MONKEY).bits_per_key == 4.0
+
+    def test_bench_lerp_config_scales_decay(self):
+        short = bench_lerp_config(100)
+        long = bench_lerp_config(2000)
+        assert short.ddpg.noise_decay < long.ddpg.noise_decay
+        short.validate()
+        long.validate()
+
+    def test_standard_systems_names(self):
+        systems = standard_systems(100)
+        names = [s.name for s in systems]
+        assert names == ["RusKey", "K=1 (Aggressive)", "K=5 (Moderate)", "K=10 (Lazy)"]
+        with_ll = standard_systems(100, include_lazy_leveling=True)
+        assert with_ll[-1].name == "Lazy-Leveling"
+
+    def test_static_experiment_shapes(self):
+        experiment = static_workload_experiment("balanced")
+        assert experiment.name == "fig6-balanced"
+        assert experiment.workload.lookup_fraction == 0.5
+        monkey = static_workload_experiment("balanced", BloomScheme.MONKEY)
+        assert monkey.name == "fig8-balanced"
+        assert any("Lazy-Leveling" in s.name for s in monkey.systems)
+
+    def test_static_experiment_rejects_unknown_mix(self):
+        with pytest.raises(ConfigError):
+            static_workload_experiment("mixed-up")
+
+    def test_dynamic_experiment_sessions(self):
+        experiment = dynamic_workload_experiment()
+        bounds = session_bounds(experiment.workload)
+        assert len(bounds) == 6
+        assert bounds[-1] == experiment.n_missions
+
+    def test_dynamic_greedy_variant(self):
+        experiment = dynamic_workload_experiment(include_greedy=True)
+        names = [s.name for s in experiment.systems]
+        assert names[0] == "RusKey"
+        assert sum("Greedy" in n for n in names) == 6
+
+    def test_ycsb_panels(self):
+        for panel in ("read-heavy", "write-heavy", "balanced", "range"):
+            experiment = ycsb_experiment(panel)
+            assert experiment.name == f"fig11-{panel}"
+        with pytest.raises(ConfigError):
+            ycsb_experiment("nope")
+
+
+class TestReporting:
+    def _results(self):
+        missions = [
+            MissionStats(index=i, n_lookups=10, read_time=0.1) for i in range(4)
+        ]
+        return {"sys": SeriesResult("sys", missions, [[1, 2]] * 4)}
+
+    def test_format_latency_series(self):
+        text = format_latency_series(self._results(), every=2, title="t")
+        assert "t" in text
+        assert "sys" in text
+        assert "mission" in text
+
+    def test_format_policy_trace(self):
+        text = format_policy_trace(self._results()["sys"], every=2)
+        assert "[1, 2]" in text
+
+    def test_format_summary_sorted(self):
+        missions_fast = [MissionStats(index=0, n_lookups=10, read_time=0.01)]
+        missions_slow = [MissionStats(index=0, n_lookups=10, read_time=1.0)]
+        results = {
+            "slow": SeriesResult("slow", missions_slow, [[1]]),
+            "fast": SeriesResult("fast", missions_fast, [[1]]),
+        }
+        text = format_summary(results)
+        assert text.index("fast") < text.index("slow")
+
+    def test_format_ranking_table(self):
+        text = format_ranking_table(
+            {"a": [1, 2], "b": [2, 1]}, ["s1", "s2"], title="ranks"
+        )
+        assert "avg rank" in text
+        assert "1.5" in text
+
+    def test_format_per_level_latency(self):
+        text = format_per_level_latency({"sys": {1: 0.5, 2: 1.0}})
+        assert "L" in text and "sys" in text

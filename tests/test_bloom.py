@@ -1,0 +1,208 @@
+"""Tests for repro.bloom: filters and FPR allocation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom import (
+    AnalyticalBloomFilter,
+    BitArrayBloomFilter,
+    allocate_fprs,
+    bits_per_key_from_fpr,
+    fpr_from_bits_per_key,
+    monkey_allocation,
+    optimal_num_hashes,
+    uniform_allocation,
+)
+from repro.config import BloomScheme
+from repro.errors import ConfigError
+
+
+class TestBitArrayBloomFilter:
+    def test_no_false_negatives(self, rng):
+        keys = rng.choice(10**6, size=500, replace=False).astype(np.int64)
+        bloom = BitArrayBloomFilter(keys, fpr=0.02)
+        assert bloom.might_contain_batch(keys).all()
+
+    @given(st.lists(st.integers(-(2**62), 2**62), min_size=1, max_size=200, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_property(self, keys):
+        arr = np.asarray(sorted(keys), dtype=np.int64)
+        bloom = BitArrayBloomFilter(arr, fpr=0.05)
+        for key in keys:
+            assert bloom.might_contain(key)
+
+    def test_fpr_close_to_design(self, rng):
+        keys = rng.choice(10**7, size=2000, replace=False).astype(np.int64)
+        bloom = BitArrayBloomFilter(keys, fpr=0.05)
+        absent = np.arange(2 * 10**7, 2 * 10**7 + 20000, dtype=np.int64)
+        measured = bloom.might_contain_batch(absent).mean()
+        assert measured == pytest.approx(0.05, abs=0.03)
+
+    def test_batch_matches_single(self, rng):
+        keys = rng.choice(10**5, size=200, replace=False).astype(np.int64)
+        bloom = BitArrayBloomFilter(keys, fpr=0.1)
+        probes = rng.integers(0, 2 * 10**5, size=300).astype(np.int64)
+        batch = bloom.might_contain_batch(probes)
+        singles = np.asarray([bloom.might_contain(int(k)) for k in probes])
+        assert (batch == singles).all()
+
+    def test_fpr_one_always_positive(self):
+        bloom = BitArrayBloomFilter(np.asarray([1, 2], dtype=np.int64), fpr=1.0)
+        assert bloom.might_contain(999)
+        assert bloom.memory_bits == 0
+
+    def test_empty_keys_always_positive(self):
+        bloom = BitArrayBloomFilter(np.zeros(0, dtype=np.int64), fpr=0.01)
+        assert bloom.might_contain(42)
+
+    def test_rejects_bad_fpr(self):
+        keys = np.asarray([1], dtype=np.int64)
+        with pytest.raises(ConfigError):
+            BitArrayBloomFilter(keys, fpr=0.0)
+        with pytest.raises(ConfigError):
+            BitArrayBloomFilter(keys, fpr=1.5)
+
+    def test_memory_scales_with_keys(self):
+        small = BitArrayBloomFilter(np.arange(100, dtype=np.int64), fpr=0.01)
+        large = BitArrayBloomFilter(np.arange(1000, dtype=np.int64), fpr=0.01)
+        assert large.memory_bits > small.memory_bits
+
+    def test_lower_fpr_uses_more_memory(self):
+        keys = np.arange(1000, dtype=np.int64)
+        strict = BitArrayBloomFilter(keys, fpr=0.001)
+        loose = BitArrayBloomFilter(keys, fpr=0.1)
+        assert strict.memory_bits > loose.memory_bits
+
+    def test_salt_changes_false_positive_pattern(self, rng):
+        keys = rng.choice(10**6, size=500, replace=False).astype(np.int64)
+        absent = np.arange(2 * 10**6, 2 * 10**6 + 5000, dtype=np.int64)
+        a = BitArrayBloomFilter(keys, fpr=0.05, salt=1)
+        b = BitArrayBloomFilter(keys, fpr=0.05, salt=2)
+        assert not np.array_equal(
+            a.might_contain_batch(absent), b.might_contain_batch(absent)
+        )
+
+
+class TestAnalyticalBloomFilter:
+    def test_no_false_negatives(self, rng):
+        keys = np.sort(rng.choice(10**6, size=500, replace=False)).astype(np.int64)
+        bloom = AnalyticalBloomFilter(keys, fpr=0.02, rng=rng)
+        assert bloom.might_contain_batch(keys).all()
+
+    def test_fpr_statistically_exact(self):
+        rng = np.random.default_rng(0)
+        keys = np.arange(100, dtype=np.int64)
+        bloom = AnalyticalBloomFilter(keys, fpr=0.05, rng=rng)
+        absent = np.arange(10**6, 10**6 + 40000, dtype=np.int64)
+        measured = bloom.might_contain_batch(absent).mean()
+        assert measured == pytest.approx(0.05, abs=0.01)
+
+    def test_memory_model_matches_bit_array_sizing(self):
+        rng = np.random.default_rng(0)
+        keys = np.arange(1000, dtype=np.int64)
+        analytical = AnalyticalBloomFilter(keys, fpr=0.01, rng=rng)
+        expected_bits = math.ceil(-1000 * math.log(0.01) / math.log(2) ** 2)
+        assert analytical.memory_bits == expected_bits
+
+    def test_single_probe_present_key(self):
+        rng = np.random.default_rng(0)
+        bloom = AnalyticalBloomFilter(
+            np.asarray([5, 10], dtype=np.int64), fpr=0.001, rng=rng
+        )
+        assert bloom.might_contain(5)
+        assert bloom.might_contain(10)
+
+    def test_rejects_bad_fpr(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            AnalyticalBloomFilter(np.asarray([1], dtype=np.int64), 0.0, rng)
+
+
+class TestHelpers:
+    def test_optimal_num_hashes(self):
+        assert optimal_num_hashes(10) == round(10 * math.log(2))
+        assert optimal_num_hashes(0.5) == 1
+
+    def test_optimal_num_hashes_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            optimal_num_hashes(0)
+
+    def test_fpr_bits_roundtrip(self):
+        for bits in (2.0, 4.0, 8.0, 16.0):
+            fpr = fpr_from_bits_per_key(bits)
+            assert bits_per_key_from_fpr(fpr) == pytest.approx(bits)
+
+    def test_fpr_8_bits_is_about_2_percent(self):
+        assert fpr_from_bits_per_key(8.0) == pytest.approx(0.0216, abs=0.001)
+
+    def test_zero_bits_gives_fpr_one(self):
+        assert fpr_from_bits_per_key(0.0) == 1.0
+
+
+class TestAllocation:
+    def test_uniform_all_equal(self):
+        fprs = uniform_allocation(8.0, 5)
+        assert len(fprs) == 5
+        assert len(set(fprs)) == 1
+
+    def test_monkey_fprs_grow_by_t(self):
+        fprs = monkey_allocation(4.0, 4, 10)
+        for shallow, deep in zip(fprs[:-1], fprs[1:]):
+            if deep < 1.0:
+                assert deep / shallow == pytest.approx(10.0, rel=1e-6)
+
+    def test_monkey_shallow_levels_stricter(self):
+        fprs = monkey_allocation(4.0, 4, 10)
+        assert fprs == sorted(fprs)
+        assert fprs[0] < fprs[-1]
+
+    def test_monkey_budget_matches(self):
+        budget = 4.0
+        n_levels, t = 4, 10
+        fprs = monkey_allocation(budget, n_levels, t)
+        weights = [float(t) ** level for level in range(1, n_levels + 1)]
+        bits = [
+            bits_per_key_from_fpr(f) if f < 1.0 else 0.0 for f in fprs
+        ]
+        average = sum(w * b for w, b in zip(weights, bits)) / sum(weights)
+        assert average == pytest.approx(budget, rel=1e-6)
+
+    def test_monkey_single_level(self):
+        fprs = monkey_allocation(8.0, 1, 10)
+        assert fprs == [fpr_from_bits_per_key(8.0)]
+
+    def test_monkey_fprs_capped_at_one(self):
+        fprs = monkey_allocation(0.5, 6, 10)
+        assert all(f <= 1.0 for f in fprs)
+
+    @given(
+        budget=st.floats(min_value=1.0, max_value=20.0),
+        n_levels=st.integers(min_value=1, max_value=6),
+        t=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monkey_allocation_properties(self, budget, n_levels, t):
+        fprs = monkey_allocation(budget, n_levels, t)
+        assert len(fprs) == n_levels
+        assert all(0.0 < f <= 1.0 for f in fprs)
+        assert fprs == sorted(fprs)  # deeper levels never stricter
+
+    def test_allocate_dispatch(self):
+        assert allocate_fprs(BloomScheme.UNIFORM, 8.0, 3, 10) == uniform_allocation(
+            8.0, 3
+        )
+        assert allocate_fprs(BloomScheme.MONKEY, 4.0, 3, 10) == monkey_allocation(
+            4.0, 3, 10
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            uniform_allocation(8.0, 0)
+        with pytest.raises(ConfigError):
+            monkey_allocation(0.0, 3, 10)
+        with pytest.raises(ConfigError):
+            monkey_allocation(4.0, 3, 1)

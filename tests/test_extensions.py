@@ -1,0 +1,101 @@
+"""Tests for repro.core.extensions and runtime Bloom budget changes."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.extensions import BloomBudgetExtension
+from repro.core.ruskey import RusKey
+from repro.core.tuners import NoOpTuner, StaticTuner
+from repro.errors import ConfigError, TreeStateError
+from repro.lsm.tree import LSMTree
+from repro.workload.uniform import UniformWorkload
+
+
+class TestSetBitsPerKey:
+    def test_updates_level_fprs(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        for i in range(300):
+            tree.put(i, i)
+        old_fprs = [level.fpr for level in tree.levels]
+        tree.set_bits_per_key(tiny_config.bits_per_key * 2)
+        new_fprs = [level.fpr for level in tree.levels]
+        assert all(new < old for new, old in zip(new_fprs, old_fprs))
+
+    def test_existing_runs_keep_filters(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        for i in range(300):
+            tree.put(i, i)
+        run = next(r for level in tree.levels for r in level.runs)
+        fpr_before = run.fpr
+        tree.set_bits_per_key(16.0)
+        assert run.fpr == fpr_before
+
+    def test_new_runs_use_new_budget(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        for i in range(300):
+            tree.put(i, i)
+        tree.set_bits_per_key(16.0)
+        for i in range(300, 600):
+            tree.put(i, i)
+        newest = tree.levels[0].runs[-1]
+        assert newest.fpr == pytest.approx(tree.levels[0].fpr)
+
+    def test_rejects_nonpositive(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        with pytest.raises(TreeStateError):
+            tree.set_bits_per_key(0.0)
+
+    def test_lookups_still_correct_after_change(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        for i in range(400):
+            tree.put(i, i * 3)
+        tree.set_bits_per_key(2.0)
+        for i in range(400, 800):
+            tree.put(i, i * 3)
+        for key in (0, 200, 500, 799):
+            assert tree.get(key) == key * 3
+
+
+class TestBloomBudgetExtension:
+    def _run(self, window=5, n_missions=30):
+        config = SystemConfig(write_buffer_bytes=16 * 1024, seed=3)
+        extension = BloomBudgetExtension(
+            StaticTuner(1), window=window, step=1.0, min_bits=2.0, max_bits=16.0
+        )
+        store = RusKey(config, tuner=extension, chunk_size=32)
+        workload = UniformWorkload(2000, lookup_fraction=0.8, seed=3)
+        keys, values = workload.load_records()
+        store.bulk_load(keys, values, distribute=True)
+        store.run_missions(workload.missions(n_missions, 200))
+        return store, extension
+
+    def test_adjusts_budget_over_time(self):
+        store, extension = self._run()
+        assert len(extension.budget_history) >= 2
+        assert any(b != 8.0 for b in extension.budget_history)
+
+    def test_budget_respects_bounds(self):
+        store, extension = self._run(window=2, n_missions=60)
+        assert all(2.0 <= b <= 16.0 for b in extension.budget_history)
+
+    def test_base_tuner_still_applies(self):
+        store, _ = self._run()
+        assert all(k == 1 for k in store.policies())
+
+    def test_name_composition(self):
+        extension = BloomBudgetExtension(NoOpTuner())
+        assert extension.name == "noop+bloom-budget"
+
+    def test_reset_clears_state(self):
+        _, extension = self._run()
+        extension.reset()
+        assert extension.budget_history == []
+        assert extension._previous_window is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BloomBudgetExtension(NoOpTuner(), window=1)
+        with pytest.raises(ConfigError):
+            BloomBudgetExtension(NoOpTuner(), step=0.0)
+        with pytest.raises(ConfigError):
+            BloomBudgetExtension(NoOpTuner(), min_bits=8.0, max_bits=4.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.lsm.stats."""
+
+import pytest
+
+from repro.lsm.stats import BUFFER_LEVEL, MissionStats, StatsCollector
+from repro.storage.pager import IOCounters
+
+
+class TestMissionStats:
+    def test_operation_counts(self):
+        mission = MissionStats(index=0, n_lookups=3, n_updates=1, n_ranges=1)
+        assert mission.n_operations == 5
+        assert mission.lookup_fraction == pytest.approx(0.8)
+
+    def test_empty_mission_fractions(self):
+        mission = MissionStats(index=0)
+        assert mission.lookup_fraction == 0.0
+        assert mission.latency_per_op == 0.0
+
+    def test_latency_per_op(self):
+        mission = MissionStats(
+            index=0, n_lookups=5, n_updates=5, read_time=1.0, write_time=1.0
+        )
+        assert mission.latency_per_op == pytest.approx(0.2)
+
+    def test_level_time_sums_read_and_write(self):
+        mission = MissionStats(index=0)
+        mission.level_read_time[2] = 1.5
+        mission.level_write_time[2] = 0.5
+        assert mission.level_time(2) == pytest.approx(2.0)
+        assert mission.level_time(3) == 0.0
+
+
+class TestStatsCollector:
+    def test_attribution_accumulates(self):
+        stats = StatsCollector()
+        stats.add_read(1, 0.5)
+        stats.add_read(2, 0.25)
+        stats.add_write(1, 1.0)
+        assert stats.total_read_time == pytest.approx(0.75)
+        assert stats.total_write_time == pytest.approx(1.0)
+        assert stats.level_time(1) == pytest.approx(1.5)
+        assert stats.total_time == pytest.approx(1.75)
+
+    def test_mission_window_isolates_costs(self):
+        stats = StatsCollector()
+        io = IOCounters()
+        stats.add_read(1, 9.0)  # outside any mission
+        stats.begin_mission(io, clock_now=0.0)
+        stats.add_read(1, 1.0)
+        stats.count_lookup()
+        io.random_reads += 3
+        mission = stats.end_mission(io, clock_now=1.0)
+        assert mission.read_time == pytest.approx(1.0)
+        assert mission.n_lookups == 1
+        assert mission.io.random_reads == 3
+        assert mission.sim_duration == pytest.approx(1.0)
+
+    def test_mission_indices_increment(self):
+        stats = StatsCollector()
+        io = IOCounters()
+        for expected in range(3):
+            stats.begin_mission(io, 0.0)
+            mission = stats.end_mission(io, 0.0)
+            assert mission.index == expected
+        assert len(stats.completed) == 3
+
+    def test_double_begin_rejected(self):
+        stats = StatsCollector()
+        stats.begin_mission(IOCounters(), 0.0)
+        with pytest.raises(RuntimeError):
+            stats.begin_mission(IOCounters(), 0.0)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            StatsCollector().end_mission(IOCounters(), 0.0)
+
+    def test_io_diff_only_counts_window(self):
+        stats = StatsCollector()
+        io = IOCounters(random_reads=100)
+        stats.begin_mission(io, 0.0)
+        io.random_reads += 7
+        mission = stats.end_mission(io, 0.0)
+        assert mission.io.random_reads == 7
+
+    def test_counts_by_kind(self):
+        stats = StatsCollector()
+        stats.begin_mission(IOCounters(), 0.0)
+        stats.count_lookup(2)
+        stats.count_update(3)
+        stats.count_range(1)
+        mission = stats.end_mission(IOCounters(), 0.0)
+        assert (mission.n_lookups, mission.n_updates, mission.n_ranges) == (2, 3, 1)
+        assert stats.total_operations == 6
+
+    def test_model_update_time_recorded(self):
+        stats = StatsCollector()
+        stats.begin_mission(IOCounters(), 0.0)
+        stats.add_model_update_time(0.01)
+        mission = stats.end_mission(IOCounters(), 0.0)
+        assert mission.model_update_time == pytest.approx(0.01)
+
+    def test_recent_missions(self):
+        stats = StatsCollector()
+        io = IOCounters()
+        for _ in range(5):
+            stats.begin_mission(io, 0.0)
+            stats.end_mission(io, 0.0)
+        assert [m.index for m in stats.recent_missions(2)] == [3, 4]
+        assert stats.recent_missions(0) == []
+        assert len(stats.recent_missions(99)) == 5
+
+    def test_buffer_level_constant(self):
+        assert BUFFER_LEVEL == 0

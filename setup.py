@@ -1,4 +1,8 @@
-"""Setup shim for environments without the wheel package (legacy editable install)."""
+"""Setup shim for environments without the wheel package (legacy editable install).
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` where setuptools cannot build PEP 660 editable wheels.
+"""
 from setuptools import setup
 
 setup()

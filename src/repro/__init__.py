@@ -30,6 +30,7 @@ from repro.config import (
 )
 from repro.core.lerp import Lerp, LerpConfig
 from repro.core.ruskey import RusKey
+from repro.engine import KVEngine, ShardedStore
 from repro.core.tuners import (
     GreedyThresholdTuner,
     LazyLevelingTuner,
@@ -57,6 +58,8 @@ __all__ = [
     "GreedyThresholdTuner",
     "LSMTree",
     "FLSMTree",
+    "KVEngine",
+    "ShardedStore",
     "ReproError",
     "__version__",
 ]

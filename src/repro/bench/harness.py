@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.config import SystemConfig
-from repro.core.lerp import Lerp, LerpConfig
+from repro.core.lerp import LerpConfig
 from repro.core.ruskey import RusKey
 from repro.core.tuners import Tuner
 from repro.errors import WorkloadError
@@ -31,13 +31,18 @@ class SystemSpec:
     ``make_tuner`` builds the tuner given the resolved config (return
     ``None`` for the default Lerp). ``initial_policy`` seeds every level —
     static baselines start in their steady-state structure, RusKey starts at
-    leveling (K=1, RocksDB's default, as in the paper).
+    leveling (K=1, RocksDB's default, as in the paper). ``n_shards > 1``
+    runs the system on a hash-partitioned
+    :class:`~repro.engine.sharded.ShardedStore` instead of a single tree
+    (with one independent Lerp per shard when ``make_tuner`` returns
+    ``None``, else one shared tuner instance observing every shard).
     """
 
     name: str
     make_tuner: TunerFactory
     initial_policy: int = 1
     lerp_config: Optional[LerpConfig] = None
+    n_shards: int = 1
 
 
 @dataclass
@@ -97,10 +102,17 @@ def run_system(experiment: Experiment, system: SystemSpec) -> SeriesResult:
     config = experiment.base_config.with_updates(
         initial_policy=system.initial_policy
     )
+    # When make_tuner returns None, RusKey builds the default Lerp(s) from
+    # lerp_config — one per shard, or a single one for an unsharded store.
+    # An explicit tuner is shared across shards.
     tuner = system.make_tuner(config)
-    if tuner is None:
-        tuner = Lerp(config, system.lerp_config)
-    store = RusKey(config, tuner=tuner, chunk_size=experiment.chunk_size)
+    store = RusKey(
+        config,
+        tuner=tuner,
+        lerp_config=system.lerp_config,
+        chunk_size=experiment.chunk_size,
+        n_shards=system.n_shards,
+    )
     workload = experiment.workload
     if hasattr(workload, "load_records"):
         keys, values = workload.load_records()  # type: ignore[attr-defined]

@@ -1,14 +1,16 @@
-"""Mission execution against a tree.
+"""Mission execution against a storage engine.
 
-:class:`MissionRunner` applies a :class:`~repro.workload.spec.Mission` to an
-LSM tree and returns its :class:`~repro.lsm.stats.MissionStats`. Operations
-are processed in *chunks*: inside a chunk, updates are applied in their
-original order first and point lookups are then resolved as one vectorized
-batch (range lookups always run individually). ``chunk_size=1`` degenerates
-to exact serial execution; larger chunks reorder lookups against updates by
-at most one chunk, which leaves the cost statistics of random workloads
-unchanged (tests verify serial and chunked runs agree) while making the
-large benchmarks an order of magnitude faster.
+:class:`MissionRunner` applies a :class:`~repro.workload.spec.Mission` to
+any :class:`~repro.engine.base.KVEngine` (a single LSM/FLSM tree or a
+:class:`~repro.engine.sharded.ShardedStore`) and returns its
+:class:`~repro.lsm.stats.MissionStats`. Operations are processed in
+*chunks*: inside a chunk, updates are applied in their original order as
+one vectorized ``put_batch`` and point lookups are then resolved as one
+vectorized ``get_batch`` (range lookups always run individually).
+``chunk_size=1`` degenerates to exact serial execution; larger chunks
+reorder lookups against updates by at most one chunk, which leaves the cost
+statistics of random workloads unchanged (tests verify serial and chunked
+runs agree) while making the large benchmarks an order of magnitude faster.
 """
 
 from __future__ import annotations
@@ -17,42 +19,41 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.lsm.stats import MissionStats
-from repro.lsm.tree import LSMTree
 from repro.workload.spec import OP_LOOKUP, OP_RANGE, OP_UPDATE, Mission
 
 
 class MissionRunner:
-    """Executes missions on a tree with configurable chunking."""
+    """Executes missions on a storage engine with configurable chunking."""
 
-    def __init__(self, tree: LSMTree, chunk_size: int = 64) -> None:
+    def __init__(self, engine, chunk_size: int = 64) -> None:
         if chunk_size < 1:
             raise WorkloadError(f"chunk_size must be >= 1, got {chunk_size}")
-        self.tree = tree
+        self.engine = engine
+        #: Legacy alias — the engine of the original runner was always a tree.
+        self.tree = engine
         self.chunk_size = chunk_size
 
     def run(self, mission: Mission) -> MissionStats:
         """Execute ``mission`` and return its statistics."""
-        tree = self.tree
-        stats = tree.stats
-        stats.begin_mission(tree.disk.counters, tree.clock.now)
+        engine = self.engine
+        engine.begin_mission()
         n = len(mission)
         for start in range(0, n, self.chunk_size):
             stop = min(start + self.chunk_size, n)
             self._run_chunk(mission, start, stop)
-        return stats.end_mission(tree.disk.counters, tree.clock.now)
+        return engine.end_mission()
 
     def _run_chunk(self, mission: Mission, start: int, stop: int) -> None:
         kinds = mission.kinds[start:stop]
         keys = mission.keys[start:stop]
-        values = mission.values[start:stop]
         spans = mission.spans[start:stop]
-        tree = self.tree
+        engine = self.engine
         updates = kinds == OP_UPDATE
-        for i in np.flatnonzero(updates):
-            tree.put(int(keys[i]), int(values[i]))
+        if updates.any():
+            engine.put_batch(keys[updates], mission.values[start:stop][updates])
         lookups = kinds == OP_LOOKUP
         if lookups.any():
-            tree.get_batch(keys[lookups])
+            engine.get_batch(keys[lookups])
         for i in np.flatnonzero(kinds == OP_RANGE):
             lo = int(keys[i])
-            tree.range_lookup(lo, lo + max(0, int(spans[i]) - 1))
+            engine.range_lookup(lo, lo + max(0, int(spans[i]) - 1))

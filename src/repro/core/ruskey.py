@@ -1,11 +1,24 @@
 """RusKey: the self-tuning key-value store (the paper's system).
 
-:class:`RusKey` wires together the FLSM-tree, the statistics collector, the
-mission runner and a tuner (Lerp by default). Per the paper's workflow
-(Section 3.1): the store processes a mission, the statistics collector
-reports mission statistics, the tuner extracts experience samples, updates
-its networks and issues a tuning strategy, and the FLSM-tree applies it
-through the flexible transition before the next mission.
+:class:`RusKey` is a thin facade over a pluggable storage engine
+(:class:`~repro.engine.base.KVEngine`) and its tuner(s). Per the paper's
+workflow (Section 3.1): the store processes a mission, the statistics
+collector reports mission statistics, the tuner extracts experience
+samples, updates its networks and issues a tuning strategy, and the
+FLSM-tree applies it through the flexible transition before the next
+mission.
+
+The engine is an :class:`~repro.lsm.flsm.FLSMTree` by default; pass
+``n_shards > 1`` for a hash-partitioned
+:class:`~repro.engine.sharded.ShardedStore` (or any engine via ``engine=``).
+Tuning composes across shards in two ways:
+
+* ``tuner=`` — one *shared* tuner instance observes every shard's tree and
+  per-shard mission stats in turn (the natural fit for stateless baselines
+  such as :class:`~repro.core.tuners.StaticTuner`);
+* default / ``tuner_factory=`` — one *independent* tuner per shard (the
+  default builds one :class:`~repro.core.lerp.Lerp` per shard, the
+  per-instance-model composition of CAMAL/ArceKV style tuning).
 
 The same facade also hosts the baselines — pass a
 :class:`~repro.core.tuners.StaticTuner` for the paper's Aggressive /
@@ -14,7 +27,8 @@ Moderate / Lazy configurations, or any other tuner.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+import dataclasses
+from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,14 +36,15 @@ from repro.config import SystemConfig
 from repro.core.lerp import Lerp, LerpConfig
 from repro.core.missions import MissionRunner
 from repro.core.tuners import Tuner
-from repro.errors import WorkloadError
+from repro.engine.sharded import ShardedStore
+from repro.errors import ConfigError, WorkloadError
 from repro.lsm.flsm import FLSMTree
-from repro.lsm.stats import MissionStats, StatsCollector
+from repro.lsm.stats import MissionStats
 from repro.workload.spec import Mission, WorkloadSpec
 
 
 class RusKey:
-    """An FLSM-tree store driven by a (pluggable) tuning model."""
+    """A storage engine driven by (pluggable) tuning models."""
 
     def __init__(
         self,
@@ -37,56 +52,112 @@ class RusKey:
         tuner: Optional[Tuner] = None,
         lerp_config: Optional[LerpConfig] = None,
         chunk_size: int = 64,
+        engine=None,
+        n_shards: int = 1,
+        tuner_factory: Optional[Callable[[SystemConfig], Tuner]] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
-        self.tree = FLSMTree(self.config)
-        self.tuner: Tuner = (
-            tuner if tuner is not None else Lerp(self.config, lerp_config)
-        )
-        self.runner = MissionRunner(self.tree, chunk_size=chunk_size)
+        if n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+        if engine is None:
+            if n_shards > 1:
+                engine = ShardedStore(self.config, n_shards)
+            else:
+                engine = FLSMTree(self.config)
+        elif n_shards != 1:
+            raise ConfigError(
+                "pass either engine= or n_shards, not both "
+                f"(got an explicit engine and n_shards={n_shards})"
+            )
+        self.engine = engine
+        #: Legacy alias — for an unsharded store the engine *is* the tree.
+        self.tree = engine
+        targets = engine.tuning_targets()
+        if tuner_factory is not None:
+            self.tuners: List[Tuner] = [
+                tuner_factory(self.config) for _ in targets
+            ]
+        elif tuner is not None:
+            self.tuners = [tuner] * len(targets)
+        else:
+            # Offset each shard tuner's RNG seed the same way ShardedStore
+            # offsets shard tree seeds: with one seed the per-shard Lerps
+            # would draw identical exploration noise over near-identical
+            # shard stats and tune in lockstep instead of independently.
+            base = lerp_config if lerp_config is not None else LerpConfig()
+            self.tuners = [
+                Lerp(
+                    self.config,
+                    base if i == 0 else dataclasses.replace(base, seed=base.seed + i),
+                )
+                for i in range(len(targets))
+            ]
+        #: The (first) tuner; with independent per-shard tuners see
+        #: :attr:`tuners` for the rest.
+        self.tuner: Tuner = self.tuners[0]
+        self.runner = MissionRunner(engine, chunk_size=chunk_size)
         self.mission_log: List[MissionStats] = []
         self.policy_history: List[List[int]] = []
 
     # ------------------------------------------------------------------
-    # Data access (pass-through to the tree)
+    # Data access (pass-through to the engine)
     # ------------------------------------------------------------------
     @property
-    def stats(self) -> StatsCollector:
-        return self.tree.stats
+    def stats(self):
+        """The engine's statistics view (collector or cross-shard view)."""
+        return self.engine.stats
 
     def put(self, key: int, value: int) -> None:
         """Insert or overwrite one entry."""
-        self.tree.put(key, value)
+        self.engine.put(key, value)
+
+    def put_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized insert of many entries (the hot ingestion path)."""
+        self.engine.put_batch(keys, values)
 
     def get(self, key: int) -> Optional[int]:
         """Point lookup; ``None`` when absent or deleted."""
-        return self.tree.get(key)
+        return self.engine.get(key)
+
+    def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized point lookups; returns ``(found_mask, values)``."""
+        return self.engine.get_batch(keys)
 
     def delete(self, key: int) -> None:
         """Delete one entry."""
-        self.tree.delete(key)
+        self.engine.delete(key)
 
     def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
         """All live entries with ``lo <= key <= hi``."""
-        return self.tree.range_lookup(lo, hi)
+        return self.engine.range_lookup(lo, hi)
 
     def bulk_load(
         self, keys: np.ndarray, values: np.ndarray, distribute: bool = False
     ) -> None:
         """Populate an empty store (no simulated time is charged)."""
-        self.tree.bulk_load(keys, values, distribute=distribute)
+        self.engine.bulk_load(keys, values, distribute=distribute)
 
     def policies(self) -> List[int]:
-        """Current per-level compaction policies."""
-        return self.tree.policies()
+        """Current per-level compaction policies (representative shard)."""
+        return self.engine.policies()
 
     # ------------------------------------------------------------------
     # Mission loop
     # ------------------------------------------------------------------
     def run_mission(self, mission: Mission) -> MissionStats:
-        """Process one mission, then let the tuner adapt the tree."""
+        """Process one mission, then let the tuner(s) adapt the engine."""
         stats = self.runner.run(mission)
-        self.tuner.observe_mission(self.tree, stats)
+        parts = list(self.engine.last_mission_breakdown())
+        for tuner, target, part in zip(
+            self.tuners, self.engine.tuning_targets(), parts
+        ):
+            tuner.observe_mission(target, part)
+        if parts and parts[0] is not stats:
+            # Sharded engines return an aggregate record; fold the tuning
+            # time the tuners just charged to the per-shard windows into it.
+            stats.model_update_time = float(
+                sum(p.model_update_time for p in parts)
+            )
         self.mission_log.append(stats)
         self.policy_history.append(self.policies())
         return stats
@@ -102,7 +173,7 @@ class RusKey:
         if n_missions < 1 or mission_size < 1:
             raise WorkloadError("n_missions and mission_size must be >= 1")
         if load:
-            if self.tree.total_entries:
+            if self.engine.total_entries:
                 raise WorkloadError(
                     "store already contains data; pass load=False to continue"
                 )

@@ -1,0 +1,27 @@
+"""Pluggable storage engines.
+
+:class:`KVEngine` is the structural contract every engine satisfies;
+:class:`~repro.lsm.tree.LSMTree` / :class:`~repro.lsm.flsm.FLSMTree` are the
+single-tree reference implementations and :class:`ShardedStore` the
+hash-partitioned multi-tree one.
+"""
+
+from repro.engine.base import KVEngine
+from repro.engine.sharded import (
+    AggregatedStats,
+    ShardedStore,
+    merge_io_counters,
+    merge_mission_stats,
+    shard_of,
+    shard_of_key,
+)
+
+__all__ = [
+    "KVEngine",
+    "ShardedStore",
+    "AggregatedStats",
+    "shard_of",
+    "shard_of_key",
+    "merge_io_counters",
+    "merge_mission_stats",
+]

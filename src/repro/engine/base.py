@@ -1,0 +1,144 @@
+"""The formal storage-engine contract.
+
+Every component above the storage layer — :class:`~repro.core.missions.MissionRunner`,
+the :class:`~repro.core.ruskey.RusKey` facade and the benchmark harness —
+drives the store exclusively through :class:`KVEngine`. The reference
+implementation is :class:`~repro.lsm.tree.LSMTree` (and its
+:class:`~repro.lsm.flsm.FLSMTree` subclass); :class:`~repro.engine.sharded.ShardedStore`
+implements the same contract over N hash-partitioned FLSM shards.
+
+``KVEngine`` is a structural :class:`typing.Protocol` rather than an ABC so
+the LSM layer does not need to import this package (no inheritance, no
+import cycle): any object with the right methods *is* an engine, and
+``isinstance(obj, KVEngine)`` checks conformance at runtime.
+
+The contract, beyond plain data access:
+
+* **Batch paths** — ``put_batch``/``get_batch`` are the hot ingestion and
+  lookup paths. They must be semantically equivalent to per-key loops over
+  ``put``/``get`` against the same engine state (identical flush boundaries
+  and cost charging), just vectorized.
+* **Mission windows** — ``begin_mission``/``end_mission`` bracket one batch
+  of operations; ``end_mission`` returns the window's aggregated
+  :class:`~repro.lsm.stats.MissionStats`. For a sharded engine the returned
+  record sums the per-shard windows (see DESIGN.md, "Sharded stats
+  aggregation").
+* **Tuning surface** — ``tuning_targets`` exposes the underlying tree(s) a
+  :class:`~repro.core.tuners.Tuner` may adjust, and
+  ``last_mission_breakdown`` the matching per-target stats of the last
+  completed mission, so one tuner (or one tuner per shard) can be wired to
+  any engine without knowing its topology.
+* **Policy control** — ``apply_transition`` sets the compaction policy of
+  levels ``1..len(policies)`` using a given transition kind on every
+  underlying tree.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.config import SystemConfig, TransitionKind
+from repro.lsm.stats import MissionStats
+from repro.storage.pager import IOCounters
+
+
+@runtime_checkable
+class KVEngine(Protocol):
+    """Structural contract of a simulated key-value storage engine."""
+
+    config: SystemConfig
+
+    # -- point data path ------------------------------------------------
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite one entry."""
+        ...
+
+    def delete(self, key: int) -> None:
+        """Delete one key (tombstone write)."""
+        ...
+
+    def get(self, key: int) -> Optional[int]:
+        """Latest value for ``key``; ``None`` when absent or deleted."""
+        ...
+
+    # -- batch data path ------------------------------------------------
+    def put_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized insert; equivalent to per-key :meth:`put` in order."""
+        ...
+
+    def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized lookups; returns ``(found_mask, values)``."""
+        ...
+
+    def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """All live entries with ``lo <= key <= hi`` in key order."""
+        ...
+
+    def bulk_load(
+        self, keys: np.ndarray, values: np.ndarray, distribute: bool = False
+    ) -> None:
+        """Populate an empty engine without charging simulated time."""
+        ...
+
+    # -- mission windows ------------------------------------------------
+    def begin_mission(self) -> None:
+        """Open a stats window covering the next batch of operations."""
+        ...
+
+    def end_mission(self) -> MissionStats:
+        """Close the window; returns its (aggregated) statistics."""
+        ...
+
+    # -- tuning surface -------------------------------------------------
+    def tuning_targets(self) -> Sequence[object]:
+        """The underlying tree(s) a tuner may adjust, in a stable order."""
+        ...
+
+    def last_mission_breakdown(self) -> Sequence[MissionStats]:
+        """Per-target stats of the last completed mission (aligned with
+        :meth:`tuning_targets`)."""
+        ...
+
+    def policies(self) -> List[int]:
+        """Representative per-level compaction policies, shallow to deep."""
+        ...
+
+    def apply_transition(
+        self, policies: Sequence[int], transition: TransitionKind
+    ) -> None:
+        """Set the policy of levels ``1..len(policies)`` on every tree."""
+        ...
+
+    # -- introspection --------------------------------------------------
+    @property
+    def stats(self) -> object:
+        """The engine's statistics view (collector or aggregate)."""
+        ...
+
+    @property
+    def io_counters(self) -> IOCounters:
+        """Cumulative (aggregated) page-level I/O counters."""
+        ...
+
+    @property
+    def clock_now(self) -> float:
+        """Total simulated seconds consumed so far."""
+        ...
+
+    @property
+    def total_entries(self) -> int:
+        """Number of stored entries, including buffered ones."""
+        ...
+
+    def check_invariants(self) -> None:
+        """Raise if any structural invariant is violated."""
+        ...

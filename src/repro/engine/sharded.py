@@ -1,0 +1,379 @@
+"""Hash-partitioned multi-tree engine.
+
+:class:`ShardedStore` splits the keyspace over ``n_shards`` independent
+FLSM-trees by a Fibonacci hash of the key. Each shard owns its clock, disk
+model, cache and :class:`~repro.lsm.stats.StatsCollector`; the store exposes
+aggregated views of all of them so everything written against the
+:class:`~repro.engine.base.KVEngine` contract (mission runner, tuners,
+benchmark harness) drives a sharded store exactly like a single tree.
+
+Aggregation rule (see DESIGN.md): shards model independent stores executing
+their slice of the traffic serially on one device, so *times and counters
+sum* across shards — ``clock_now`` is the sum of shard clocks, the
+aggregated :class:`~repro.lsm.stats.MissionStats` of a mission window sums
+the per-shard windows field by field, and per-level time maps merge by
+summing per level. Operation counts are attributed to exactly one shard
+(the key's home shard; a range scan counts once, on the home shard of its
+start key) so aggregated counts equal the counts an unsharded tree would
+report for the same operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig, TransitionKind
+from repro.errors import ConfigError, TreeStateError
+from repro.lsm.flsm import FLSMTree
+from repro.lsm.stats import MissionStats, StatsCollector
+from repro.lsm.tree import LSMTree
+from repro.storage.pager import IOCounters
+
+#: Fibonacci hashing multiplier (golden-ratio / 2^64, odd).
+_HASH_MULT = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+
+
+def shard_of(keys: np.ndarray, n_shards: int) -> np.ndarray:
+    """Vectorized shard index for each 64-bit key.
+
+    A multiplicative (Fibonacci) hash decorrelates shard choice from key
+    magnitude, so both sequential and skewed keyspaces spread evenly.
+    """
+    h = np.asarray(keys, dtype=np.int64).astype(np.uint64)
+    h = (h * np.uint64(_HASH_MULT)) >> np.uint64(17)
+    return (h % np.uint64(n_shards)).astype(np.int64)
+
+
+def shard_of_key(key: int, n_shards: int) -> int:
+    """Scalar counterpart of :func:`shard_of` (bit-identical result)."""
+    h = ((int(key) & _MASK_64) * _HASH_MULT) & _MASK_64
+    return (h >> 17) % n_shards
+
+
+def merge_io_counters(parts: Sequence[IOCounters]) -> IOCounters:
+    """Field-wise sum of several I/O counter sets."""
+    return IOCounters(
+        random_reads=sum(p.random_reads for p in parts),
+        random_writes=sum(p.random_writes for p in parts),
+        seq_reads=sum(p.seq_reads for p in parts),
+        seq_writes=sum(p.seq_writes for p in parts),
+    )
+
+
+def _merge_level_times(maps: Sequence[Dict[int, float]]) -> Dict[int, float]:
+    merged: Dict[int, float] = {}
+    for one in maps:
+        for level_no, seconds in one.items():
+            merged[level_no] = merged.get(level_no, 0.0) + seconds
+    return merged
+
+
+def merge_mission_stats(
+    index: int, parts: Sequence[MissionStats]
+) -> MissionStats:
+    """Sum per-shard mission windows into one store-level record."""
+    return MissionStats(
+        index=index,
+        n_lookups=sum(p.n_lookups for p in parts),
+        n_updates=sum(p.n_updates for p in parts),
+        n_ranges=sum(p.n_ranges for p in parts),
+        read_time=sum(p.read_time for p in parts),
+        write_time=sum(p.write_time for p in parts),
+        level_read_time=_merge_level_times([p.level_read_time for p in parts]),
+        level_write_time=_merge_level_times([p.level_write_time for p in parts]),
+        io=merge_io_counters([p.io for p in parts]),
+        sim_duration=sum(p.sim_duration for p in parts),
+        model_update_time=sum(p.model_update_time for p in parts),
+    )
+
+
+class AggregatedStats:
+    """Read-only cross-shard view matching the ``StatsCollector`` API.
+
+    Totals and per-level maps are recomputed from the shard collectors on
+    access, so they always sum exactly to the per-shard values. The
+    ``completed`` list holds one *aggregated* :class:`MissionStats` per
+    mission window (appended by :meth:`ShardedStore.end_mission`).
+    """
+
+    def __init__(self, collectors: Sequence[StatsCollector]) -> None:
+        self.per_shard: List[StatsCollector] = list(collectors)
+        self.completed: List[MissionStats] = []
+
+    @property
+    def total_read_time(self) -> float:
+        return sum(c.total_read_time for c in self.per_shard)
+
+    @property
+    def total_write_time(self) -> float:
+        return sum(c.total_write_time for c in self.per_shard)
+
+    @property
+    def total_time(self) -> float:
+        return self.total_read_time + self.total_write_time
+
+    @property
+    def total_lookups(self) -> int:
+        return sum(c.total_lookups for c in self.per_shard)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(c.total_updates for c in self.per_shard)
+
+    @property
+    def total_ranges(self) -> int:
+        return sum(c.total_ranges for c in self.per_shard)
+
+    @property
+    def total_operations(self) -> int:
+        return self.total_lookups + self.total_updates + self.total_ranges
+
+    @property
+    def level_read_time(self) -> Dict[int, float]:
+        return _merge_level_times([c.level_read_time for c in self.per_shard])
+
+    @property
+    def level_write_time(self) -> Dict[int, float]:
+        return _merge_level_times([c.level_write_time for c in self.per_shard])
+
+    def level_time(self, level_no: int) -> float:
+        return sum(c.level_time(level_no) for c in self.per_shard)
+
+    @property
+    def in_mission(self) -> bool:
+        return any(c.in_mission for c in self.per_shard)
+
+    def recent_missions(self, n: int) -> List[MissionStats]:
+        if n <= 0:
+            return []
+        return self.completed[-n:]
+
+
+class ShardedStore:
+    """A :class:`~repro.engine.base.KVEngine` over N independent FLSM shards.
+
+    ``tree_factory(config, shard_no)`` may be passed to customize shard
+    construction; by default each shard is an :class:`FLSMTree` with the
+    shared config and a per-shard seed offset (so Bloom randomness is
+    independent across shards).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        n_shards: int,
+        tree_factory: Optional[
+            Callable[[SystemConfig, int], LSMTree]
+        ] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
+        self.config = config
+        self.n_shards = n_shards
+        if tree_factory is None:
+            tree_factory = lambda cfg, i: FLSMTree(  # noqa: E731
+                cfg.with_updates(seed=cfg.seed + i)
+            )
+        self.shards: List[LSMTree] = [
+            tree_factory(config, i) for i in range(n_shards)
+        ]
+        self._stats = AggregatedStats([s.stats for s in self.shards])
+        self._mission_index = 0
+        self._last_breakdown: List[MissionStats] = []
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: int) -> LSMTree:
+        """The shard that owns ``key``."""
+        return self.shards[shard_of_key(key, self.n_shards)]
+
+    # ------------------------------------------------------------------
+    # Point data path
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: int) -> None:
+        self.shard_for(key).put(key, value)
+
+    def delete(self, key: int) -> None:
+        self.shard_for(key).delete(key)
+
+    def get(self, key: int) -> Optional[int]:
+        return self.shard_for(key).get(key)
+
+    # ------------------------------------------------------------------
+    # Batch data path
+    # ------------------------------------------------------------------
+    def put_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Sort-and-group the batch per shard, then bulk-insert each group.
+
+        The stable grouping sort preserves each shard's original operation
+        order, so per-shard execution is identical to routing the keys one
+        by one — just with one memtable bulk-insert (and one flush check)
+        per shard per batch instead of per key.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have equal length")
+        if len(keys) == 0:
+            return
+        if self.n_shards == 1:
+            self.shards[0].put_batch(keys, values)
+            return
+        shard_ids = shard_of(keys, self.n_shards)
+        order = np.argsort(shard_ids, kind="stable")
+        grouped = shard_ids[order]
+        bounds = np.searchsorted(grouped, np.arange(self.n_shards + 1))
+        for s in range(self.n_shards):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if lo == hi:
+                continue
+            idx = order[lo:hi]
+            self.shards[s].put_batch(keys[idx], values[idx])
+
+    def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized lookups routed per shard; results scatter back in the
+        caller's order."""
+        keys = np.asarray(keys, dtype=np.int64)
+        n = len(keys)
+        found = np.zeros(n, dtype=bool)
+        values = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return found, values
+        shard_ids = shard_of(keys, self.n_shards)
+        for s in range(self.n_shards):
+            idx = np.flatnonzero(shard_ids == s)
+            if len(idx) == 0:
+                continue
+            shard_found, shard_values = self.shards[s].get_batch(keys[idx])
+            found[idx] = shard_found
+            values[idx] = shard_values
+        return found, values
+
+    def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Cross-shard range scan.
+
+        Hash partitioning does not preserve key order, so every shard is
+        scanned and the (disjoint) per-shard results are merged by key. The
+        operation is *counted* once, on the home shard of ``lo``, so
+        aggregated operation counts match an unsharded tree.
+        """
+        if lo > hi:
+            raise ValueError(f"empty range: lo={lo} > hi={hi}")
+        self.shard_for(lo).stats.count_range()
+        key_arrays: List[np.ndarray] = []
+        value_arrays: List[np.ndarray] = []
+        for shard in self.shards:
+            keys, values = shard.range_scan(lo, hi)
+            if len(keys):
+                key_arrays.append(keys)
+                value_arrays.append(values)
+        if not key_arrays:
+            return []
+        keys = np.concatenate(key_arrays)
+        values = np.concatenate(value_arrays)
+        order = np.argsort(keys)  # shards hold disjoint keys
+        return list(zip(keys[order].tolist(), values[order].tolist()))
+
+    def bulk_load(
+        self, keys: np.ndarray, values: np.ndarray, distribute: bool = False
+    ) -> None:
+        """Partition the records by shard and bulk-load each shard."""
+        if self.total_entries:
+            raise TreeStateError("bulk_load requires an empty store")
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        shard_ids = shard_of(keys, self.n_shards)
+        for s in range(self.n_shards):
+            idx = np.flatnonzero(shard_ids == s)
+            if len(idx) == 0:
+                continue
+            self.shards[s].bulk_load(keys[idx], values[idx], distribute=distribute)
+
+    # ------------------------------------------------------------------
+    # Mission windows
+    # ------------------------------------------------------------------
+    def begin_mission(self) -> None:
+        for shard in self.shards:
+            shard.begin_mission()
+
+    def end_mission(self) -> MissionStats:
+        parts = [shard.end_mission() for shard in self.shards]
+        merged = merge_mission_stats(self._mission_index, parts)
+        self._mission_index += 1
+        self._last_breakdown = parts
+        self._stats.completed.append(merged)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Tuning surface
+    # ------------------------------------------------------------------
+    def tuning_targets(self) -> Sequence[LSMTree]:
+        return self.shards
+
+    def last_mission_breakdown(self) -> Sequence[MissionStats]:
+        return self._last_breakdown
+
+    def policies(self) -> List[int]:
+        """Shard 0's per-level policies (the representative trajectory;
+        with independent per-shard tuners shards may diverge — see
+        :meth:`policies_per_shard`)."""
+        return self.shards[0].policies()
+
+    def policies_per_shard(self) -> List[List[int]]:
+        return [shard.policies() for shard in self.shards]
+
+    def apply_transition(
+        self, policies: Sequence[int], transition: TransitionKind
+    ) -> None:
+        for shard in self.shards:
+            shard.set_policies(list(policies), transition)
+
+    def set_policy(
+        self, level_no: int, new_policy: int, transition: TransitionKind
+    ) -> None:
+        """Set one level's policy on every shard."""
+        for shard in self.shards:
+            shard.set_policy(level_no, new_policy, transition)
+
+    # ------------------------------------------------------------------
+    # Aggregated introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> AggregatedStats:
+        return self._stats
+
+    @property
+    def io_counters(self) -> IOCounters:
+        return merge_io_counters([s.io_counters for s in self.shards])
+
+    @property
+    def clock_now(self) -> float:
+        return sum(s.clock_now for s in self.shards)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(s.total_entries for s in self.shards)
+
+    @property
+    def n_levels(self) -> int:
+        return max(s.n_levels for s in self.shards)
+
+    def describe(self) -> List[List[Dict[str, object]]]:
+        """Per-shard structural snapshots."""
+        return [shard.describe() for shard in self.shards]
+
+    def check_invariants(self) -> None:
+        for shard in self.shards:
+            shard.check_invariants()
+
+    def read_amplification_snapshot(self) -> Dict[int, int]:
+        """Per-level run counts summed across shards."""
+        merged: Dict[int, int] = {}
+        for shard in self.shards:
+            for level_no, runs in shard.read_amplification_snapshot().items():
+                merged[level_no] = merged.get(level_no, 0) + runs
+        return merged

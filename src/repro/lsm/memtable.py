@@ -50,6 +50,40 @@ class MemTable:
         """Buffer a tombstone for ``key``."""
         self._entries[int(key)] = TOMBSTONE
 
+    def put_batch(self, keys: np.ndarray, values: np.ndarray) -> int:
+        """Bulk-insert a prefix of ``keys``/``values``; returns its length.
+
+        Inserts stop (and the consumed count is returned) as soon as the
+        buffer reaches capacity, so callers flush and re-offer the rest —
+        exactly the flush boundaries a per-key :meth:`put` loop would hit.
+        A prefix that provably cannot fill the buffer (shorter than the
+        free-slot count even if every key is new) is applied as one dict
+        update with no per-key bookkeeping; only the last key(s) before a
+        flush fall back to per-key inserts, because with duplicate keys in
+        play the exact fill point is only observable one insert at a time.
+        Values are NOT validated here; vectorized callers
+        (``LSMTree.put_batch``) validate the whole batch up front.
+        """
+        n = len(keys)
+        room = self._capacity - len(self._entries)
+        if n < room:
+            self._entries.update(zip(keys.tolist(), values.tolist()))
+            return n
+        if room > 1:
+            bulk = room - 1
+            self._entries.update(
+                zip(keys[:bulk].tolist(), values[:bulk].tolist())
+            )
+            return bulk
+        entries = self._entries
+        consumed = 0
+        for key, value in zip(keys.tolist(), values.tolist()):
+            entries[key] = value
+            consumed += 1
+            if len(entries) >= self._capacity:
+                break
+        return consumed
+
     def get(self, key: int) -> Optional[int]:
         """Latest buffered value for ``key`` (may be ``TOMBSTONE``), else
         ``None`` if the key is not buffered at all."""

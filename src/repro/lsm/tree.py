@@ -30,10 +30,10 @@ from repro.lsm.entry import TOMBSTONE, merge_sorted_sources, validate_value
 from repro.lsm.level import Level
 from repro.lsm.memtable import MemTable
 from repro.lsm.run import SortedRun
-from repro.lsm.stats import BUFFER_LEVEL, StatsCollector
+from repro.lsm.stats import BUFFER_LEVEL, MissionStats, StatsCollector
 from repro.storage.cache import LRUBlockCache
 from repro.storage.clock import SimClock
-from repro.storage.pager import DiskModel
+from repro.storage.pager import DiskModel, IOCounters
 
 
 class LSMTree:
@@ -177,6 +177,34 @@ class LSMTree:
         self.memtable.delete(key)
         if self.memtable.is_full:
             self._flush()
+
+    def put_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized insert of many entries, in order.
+
+        Semantically identical to ``for k, v in zip(keys, values): put(k, v)``
+        — same newest-wins overwrites, same flush boundaries, same cost
+        charging — but validation is vectorized and the memtable is filled
+        by bulk inserts with one flush check per (remaining) batch instead
+        of per key.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have equal length")
+        n = len(keys)
+        if n == 0:
+            return
+        if (values == TOMBSTONE).any():
+            raise ValueError(
+                "value collides with the tombstone sentinel; "
+                f"use a value other than {TOMBSTONE}"
+            )
+        self.stats.count_update(n)
+        start = 0
+        while start < n:
+            start += self.memtable.put_batch(keys[start:], values[start:])
+            if self.memtable.is_full:
+                self._flush()
 
     def _flush(self) -> None:
         """Drain the memtable into Level 1's active run."""
@@ -370,6 +398,14 @@ class LSMTree:
         if lo > hi:
             raise ValueError(f"empty range: lo={lo} > hi={hi}")
         self.stats.count_range()
+        keys, values = self.range_scan(lo, hi)
+        return list(zip(keys.tolist(), values.tolist()))
+
+    def range_scan(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The scan behind :meth:`range_lookup`: charges all probe and I/O
+        costs but does not count an operation (so a sharded engine can scan
+        every shard while counting the range once). Returns sorted live
+        ``(keys, values)`` arrays."""
         key_arrays: List[np.ndarray] = []
         value_arrays: List[np.ndarray] = []
         # Oldest sources first so merge_sorted_sources keeps the newest value.
@@ -391,10 +427,9 @@ class LSMTree:
             order = np.argsort(mk, kind="stable")
             key_arrays.append(mk[order])
             value_arrays.append(mv[order])
-        keys, values = merge_sorted_sources(
+        return merge_sorted_sources(
             key_arrays, value_arrays, drop_tombstones=True
         )
-        return list(zip(keys.tolist(), values.tolist()))
 
     # ------------------------------------------------------------------
     # Policy control
@@ -430,6 +465,41 @@ class LSMTree:
         indices = range(len(new_policies), 0, -1)
         for level_no in indices:
             self.set_policy(level_no, new_policies[level_no - 1], transition)
+
+    # ------------------------------------------------------------------
+    # KVEngine surface: mission windows, tuning targets, aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def io_counters(self) -> "IOCounters":
+        """Cumulative page-level I/O counters of the simulated device."""
+        return self.disk.counters
+
+    @property
+    def clock_now(self) -> float:
+        """Total simulated seconds consumed so far."""
+        return self.clock.now
+
+    def begin_mission(self) -> None:
+        """Open a stats window covering the next batch of operations."""
+        self.stats.begin_mission(self.disk.counters, self.clock.now)
+
+    def end_mission(self) -> "MissionStats":
+        """Close the current stats window and return its statistics."""
+        return self.stats.end_mission(self.disk.counters, self.clock.now)
+
+    def tuning_targets(self) -> "List[LSMTree]":
+        """The tree itself is the only tuning target."""
+        return [self]
+
+    def last_mission_breakdown(self) -> "List[MissionStats]":
+        """Per-target stats of the last completed mission."""
+        return self.stats.completed[-1:]
+
+    def apply_transition(
+        self, policies: Sequence[int], transition: TransitionKind
+    ) -> None:
+        """Alias of :meth:`set_policies` under the engine contract."""
+        self.set_policies(list(policies), transition)
 
     # ------------------------------------------------------------------
     # Bulk loading

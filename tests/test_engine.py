@@ -1,0 +1,464 @@
+"""Tests for repro.engine: the KVEngine protocol, the sharded store and the
+vectorized batch write path."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, TransitionKind
+from repro.core.lerp import Lerp
+from repro.core.missions import MissionRunner
+from repro.core.ruskey import RusKey
+from repro.core.tuners import StaticTuner
+from repro.engine import (
+    KVEngine,
+    ShardedStore,
+    merge_io_counters,
+    merge_mission_stats,
+    shard_of,
+    shard_of_key,
+)
+from repro.errors import ConfigError, TreeStateError
+from repro.lsm.entry import TOMBSTONE
+from repro.lsm.flsm import FLSMTree
+from repro.lsm.memtable import MemTable
+from repro.lsm.tree import LSMTree
+from repro.storage.pager import IOCounters
+from repro.workload.uniform import UniformWorkload
+from repro.workload.ycsb import YCSBWorkload
+
+
+@pytest.fixture
+def records(rng):
+    keys = rng.choice(10**6, size=4000, replace=False).astype(np.int64)
+    values = rng.integers(0, 2**31, size=4000).astype(np.int64)
+    return keys, values
+
+
+def assert_mission_stats_equal(a, b, exact_times=True):
+    assert a.n_lookups == b.n_lookups
+    assert a.n_updates == b.n_updates
+    assert a.n_ranges == b.n_ranges
+    if exact_times:
+        assert a.io == b.io
+        assert a.read_time == pytest.approx(b.read_time, abs=0.0)
+        assert a.write_time == pytest.approx(b.write_time, abs=0.0)
+        assert a.sim_duration == pytest.approx(b.sim_duration, abs=0.0)
+        assert a.level_read_time == b.level_read_time
+        assert a.level_write_time == b.level_write_time
+    else:
+        assert a.io.total == pytest.approx(b.io.total, rel=0.05)
+        assert a.total_time == pytest.approx(b.total_time, rel=0.05)
+
+
+class TestProtocol:
+    def test_trees_conform(self, tiny_config):
+        assert isinstance(LSMTree(tiny_config), KVEngine)
+        assert isinstance(FLSMTree(tiny_config), KVEngine)
+
+    def test_sharded_store_conforms(self, tiny_config):
+        assert isinstance(ShardedStore(tiny_config, 4), KVEngine)
+
+    def test_non_engine_rejected(self):
+        assert not isinstance(object(), KVEngine)
+
+    def test_tree_engine_surface(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        assert tree.tuning_targets() == [tree]
+        assert tree.io_counters is tree.disk.counters
+        assert tree.clock_now == tree.clock.now
+        tree.begin_mission()
+        tree.put(1, 2)
+        stats = tree.end_mission()
+        assert stats.n_updates == 1
+        assert tree.last_mission_breakdown() == [stats]
+
+    def test_apply_transition_matches_set_policies(self, tiny_config):
+        a, b = LSMTree(tiny_config), LSMTree(tiny_config)
+        for i in range(200):
+            a.put(i, i)
+            b.put(i, i)
+        a.apply_transition([3, 2], TransitionKind.FLEXIBLE)
+        b.set_policies([3, 2], TransitionKind.FLEXIBLE)
+        assert a.policies() == b.policies()
+
+
+class TestShardRouting:
+    def test_scalar_matches_vector(self, rng):
+        keys = rng.integers(-(2**62), 2**62, size=1000).astype(np.int64)
+        for n_shards in (1, 2, 4, 7):
+            vec = shard_of(keys, n_shards)
+            assert vec.min() >= 0 and vec.max() < n_shards
+            scalars = [shard_of_key(int(k), n_shards) for k in keys]
+            assert vec.tolist() == scalars
+
+    def test_spread_is_even_for_sequential_keys(self):
+        ids = shard_of(np.arange(100_000, dtype=np.int64), 4)
+        counts = np.bincount(ids, minlength=4)
+        assert counts.min() > 20_000  # ~25k each
+
+    def test_bad_shard_count(self, tiny_config):
+        with pytest.raises(ConfigError):
+            ShardedStore(tiny_config, 0)
+        with pytest.raises(ConfigError):
+            RusKey(tiny_config, n_shards=0)
+
+
+class TestPutBatch:
+    def test_memtable_batch_stops_at_capacity(self):
+        table = MemTable(4)
+        keys = np.arange(10, dtype=np.int64)
+        consumed = 0
+        while consumed < len(keys) and not table.is_full:
+            consumed += table.put_batch(keys[consumed:], keys[consumed:])
+        assert consumed == 4  # stops exactly where per-key puts would flush
+        assert table.is_full
+        table.clear()
+        assert table.put_batch(keys[:3], keys[:3]) == 3
+        assert not table.is_full
+
+    def test_memtable_batch_duplicates_do_not_consume_capacity(self):
+        table = MemTable(4)
+        keys = np.array([1, 1, 2, 2, 3, 3], dtype=np.int64)
+        values = np.arange(6, dtype=np.int64)
+        consumed = 0
+        while consumed < len(keys) and not table.is_full:
+            consumed += table.put_batch(keys[consumed:], values[consumed:])
+        assert consumed == 6
+        assert len(table) == 3
+        assert not table.is_full
+        # Newest value of each duplicate wins, as with per-key puts.
+        assert table.get(1) == 1 and table.get(2) == 3 and table.get(3) == 5
+
+    def test_tree_batch_exact_at_fill_boundary_with_duplicates(self, tiny_config):
+        """A batch that exactly fills the buffer and then keeps overwriting
+        must flush at the same point a per-key loop would."""
+        capacity = tiny_config.buffer_capacity_entries
+        fill = np.arange(capacity, dtype=np.int64)
+        # Fill to capacity, then overwrite some of the same keys.
+        keys = np.concatenate([fill, fill[: capacity // 2]])
+        values = np.arange(len(keys), dtype=np.int64)
+        serial, batched = LSMTree(tiny_config), LSMTree(tiny_config)
+        for k, v in zip(keys.tolist(), values.tolist()):
+            serial.put(k, v)
+        batched.put_batch(keys, values)
+        assert serial.clock_now == batched.clock_now
+        assert serial.io_counters == batched.io_counters
+        assert len(serial.memtable) == len(batched.memtable)
+        probe = np.arange(capacity, dtype=np.int64)
+        _, sv = serial.get_batch(probe)
+        _, bv = batched.get_batch(probe)
+        assert (sv == bv).all()
+
+    def test_exactly_matches_per_key_puts(self, tiny_config, records):
+        keys, values = records
+        serial, batched = LSMTree(tiny_config), LSMTree(tiny_config)
+        for k, v in zip(keys.tolist(), values.tolist()):
+            serial.put(k, v)
+        for start in range(0, len(keys), 97):  # odd batch size crosses flushes
+            batched.put_batch(keys[start : start + 97], values[start : start + 97])
+        assert serial.clock_now == batched.clock_now
+        assert serial.io_counters == batched.io_counters
+        assert serial.describe() == batched.describe()
+        assert serial.stats.total_updates == batched.stats.total_updates
+
+    def test_duplicate_heavy_stream_matches_per_key_puts(self, tiny_config, rng):
+        """Skewed update streams (many overwrites) must keep exact flush
+        boundaries through the batch path, across many flush cycles."""
+        keys = rng.integers(0, 120, size=6000).astype(np.int64)  # heavy dups
+        values = rng.integers(0, 2**31, size=6000).astype(np.int64)
+        serial, batched = LSMTree(tiny_config), LSMTree(tiny_config)
+        for k, v in zip(keys.tolist(), values.tolist()):
+            serial.put(k, v)
+        for start in range(0, len(keys), 113):
+            batched.put_batch(keys[start : start + 113], values[start : start + 113])
+        assert serial.clock_now == batched.clock_now
+        assert serial.io_counters == batched.io_counters
+        assert serial.describe() == batched.describe()
+        probe = np.arange(120, dtype=np.int64)
+        _, sv = serial.get_batch(probe)
+        _, bv = batched.get_batch(probe)
+        assert (sv == bv).all()
+
+    def test_batch_with_duplicate_keys(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        keys = np.array([5, 5, 5], dtype=np.int64)
+        values = np.array([1, 2, 3], dtype=np.int64)
+        tree.put_batch(keys, values)
+        assert tree.get(5) == 3
+
+    def test_rejects_tombstone_values(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        with pytest.raises(ValueError):
+            tree.put_batch(
+                np.array([1], dtype=np.int64),
+                np.array([TOMBSTONE], dtype=np.int64),
+            )
+        with pytest.raises(ValueError):
+            tree.put_batch(np.arange(3, dtype=np.int64), np.arange(2, dtype=np.int64))
+
+    def test_empty_batch_is_noop(self, tiny_config):
+        tree = LSMTree(tiny_config)
+        tree.put_batch(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert tree.total_entries == 0
+        assert tree.stats.total_updates == 0
+
+    def test_sharded_batch_matches_per_key_routing(self, tiny_config, records):
+        keys, values = records
+        serial = ShardedStore(tiny_config, 4)
+        batched = ShardedStore(tiny_config, 4)
+        for k, v in zip(keys.tolist(), values.tolist()):
+            serial.put(k, v)
+        batched.put_batch(keys, values)
+        assert serial.clock_now == batched.clock_now
+        assert serial.io_counters == batched.io_counters
+
+
+class TestCrossShardCorrectness:
+    """The sharded equivalence suite: a 4-shard store must behave exactly
+    like one tree for results, and its stats must aggregate consistently."""
+
+    def _loaded_pair(self, config, records):
+        keys, values = records
+        single = FLSMTree(config)
+        sharded = ShardedStore(config, 4)
+        single.bulk_load(keys, values)
+        sharded.bulk_load(keys, values)
+        return single, sharded
+
+    def test_bulk_load_and_gets_match(self, tiny_config, records, rng):
+        keys, values = records
+        single, sharded = self._loaded_pair(tiny_config, records)
+        assert single.total_entries == sharded.total_entries == len(keys)
+        probe = rng.choice(keys, size=300)
+        misses = rng.integers(2 * 10**6, 3 * 10**6, size=100).astype(np.int64)
+        probe = np.concatenate([probe, misses])
+        f1, v1 = single.get_batch(probe)
+        f2, v2 = sharded.get_batch(probe)
+        assert (f1 == f2).all()
+        assert (v1[f1] == v2[f2]).all()
+
+    def test_range_lookup_spans_shard_boundaries(self, tiny_config, records):
+        keys, values = records
+        single, sharded = self._loaded_pair(tiny_config, records)
+        lo, hi = int(np.percentile(keys, 10)), int(np.percentile(keys, 60))
+        span = shard_of(np.arange(lo, min(lo + 200, hi), dtype=np.int64), 4)
+        assert len(set(span.tolist())) > 1  # the range truly crosses shards
+        expected = single.range_lookup(lo, hi)
+        assert sharded.range_lookup(lo, hi) == expected
+        assert len(expected) > 0
+
+    def test_tombstones_visible_through_get_batch(self, tiny_config, records):
+        keys, values = records
+        _, sharded = self._loaded_pair(tiny_config, records)
+        doomed = keys[::5]
+        for k in doomed.tolist():
+            sharded.delete(k)
+        found, _ = sharded.get_batch(keys)
+        assert not found[::5].any()
+        mask = np.ones(len(keys), dtype=bool)
+        mask[::5] = False
+        assert found[mask].all()
+        # Deleted keys also vanish from cross-shard range scans.
+        lo, hi = int(keys.min()), int(keys.max())
+        alive = {k for k in keys.tolist()} - {k for k in doomed.tolist()}
+        assert {k for k, _ in sharded.range_lookup(lo, hi)} == alive
+
+    def test_operation_counts_match_unsharded(self, tiny_config, records):
+        single, sharded = self._loaded_pair(tiny_config, records)
+        keys, _ = records
+        for engine in (single, sharded):
+            engine.get_batch(keys[:123])
+            for k in keys[:7].tolist():
+                engine.get(k)
+            engine.range_lookup(0, 10**6)
+            engine.put_batch(keys[:50], np.arange(50, dtype=np.int64))
+        for field in ("total_lookups", "total_updates", "total_ranges"):
+            assert getattr(single.stats, field) == getattr(sharded.stats, field)
+
+    def test_stats_aggregation_sums_to_per_shard(self, tiny_config, records):
+        keys, values = records
+        sharded = ShardedStore(tiny_config, 4)
+        sharded.begin_mission()
+        sharded.put_batch(keys, values)
+        sharded.get_batch(keys[:500])
+        sharded.range_lookup(int(keys.min()), int(keys.min()) + 10_000)
+        mission = sharded.end_mission()
+        collectors = sharded.stats.per_shard
+        assert len(collectors) == 4
+        # Totals are exact sums of the per-shard collectors.
+        assert sharded.stats.total_lookups == sum(c.total_lookups for c in collectors)
+        assert sharded.stats.total_updates == sum(c.total_updates for c in collectors)
+        assert sharded.stats.total_ranges == sum(c.total_ranges for c in collectors)
+        assert sharded.stats.total_read_time == sum(
+            c.total_read_time for c in collectors
+        )
+        assert sharded.stats.total_write_time == sum(
+            c.total_write_time for c in collectors
+        )
+        for level_no, seconds in sharded.stats.level_write_time.items():
+            assert seconds == sum(
+                c.level_write_time.get(level_no, 0.0) for c in collectors
+            )
+        # The aggregated mission record is the field-wise sum of the windows.
+        parts = sharded.last_mission_breakdown()
+        assert len(parts) == 4
+        rebuilt = merge_mission_stats(mission.index, parts)
+        for field in dataclasses.fields(rebuilt):
+            assert getattr(rebuilt, field.name) == getattr(mission, field.name)
+        assert mission.n_updates == len(keys)
+        assert mission.n_ranges == 1
+        # Aggregated I/O and clock views sum the shards too.
+        assert sharded.io_counters == merge_io_counters(
+            [s.io_counters for s in sharded.shards]
+        )
+        assert sharded.clock_now == sum(s.clock_now for s in sharded.shards)
+
+    def test_mission_totals_match_unsharded(self, tiny_config, records):
+        """Same mission stream on 1 tree and 4 shards: identical op counts,
+        and total simulated time in the same ballpark (flush timing shifts
+        because each shard fills its own memtable)."""
+        keys, values = records
+        workload = UniformWorkload(4000, lookup_fraction=0.5, seed=3)
+        missions = list(workload.missions(4, 400))
+        results = []
+        for engine in (FLSMTree(self_config := SystemConfig(
+            size_ratio=4, write_buffer_bytes=16 * 1024, seed=7
+        )), ShardedStore(self_config, 4)):
+            engine.bulk_load(*workload.load_records())
+            runner = MissionRunner(engine, chunk_size=64)
+            results.append([runner.run(m) for m in missions])
+        for single_m, sharded_m in zip(*results):
+            assert single_m.n_lookups == sharded_m.n_lookups
+            assert single_m.n_updates == sharded_m.n_updates
+            assert single_m.n_ranges == sharded_m.n_ranges
+        total_single = sum(m.total_time for m in results[0])
+        total_sharded = sum(m.total_time for m in results[1])
+        assert total_sharded == pytest.approx(total_single, rel=0.35)
+
+    def test_invariants_and_policy_fanout(self, tiny_config, records):
+        _, sharded = self._loaded_pair(tiny_config, records)
+        sharded.apply_transition([3, 2], TransitionKind.FLEXIBLE)
+        for shard in sharded.shards:
+            assert shard.policies()[: 2] == [3, 2][: shard.n_levels]
+        sharded.set_policy(1, 4, TransitionKind.FLEXIBLE)
+        assert all(s.policies()[0] == 4 for s in sharded.shards)
+        sharded.check_invariants()
+        assert sharded.policies() == sharded.shards[0].policies()
+        assert len(sharded.policies_per_shard()) == 4
+
+    def test_bulk_load_requires_empty(self, tiny_config, records):
+        keys, values = records
+        sharded = ShardedStore(tiny_config, 2)
+        sharded.bulk_load(keys, values)
+        with pytest.raises(TreeStateError):
+            sharded.bulk_load(keys, values)
+
+
+class TestChunkedExecutionRegression:
+    """Satellite: chunk_size=1 serial execution vs chunked batch execution
+    on a sharded store."""
+
+    def _run(self, config, chunk_size, mission, workload=None):
+        engine = ShardedStore(config, 4)
+        if workload is not None:
+            engine.bulk_load(*workload.load_records())
+        runner = MissionRunner(engine, chunk_size=chunk_size)
+        return runner.run(mission)
+
+    def test_write_only_mission_identical(self, tiny_config, rng):
+        workload = UniformWorkload(3000, lookup_fraction=0.0, seed=11)
+        mission = next(iter(workload.missions(1, 1500)))
+        serial = self._run(tiny_config, 1, mission)
+        chunked = self._run(tiny_config, 128, mission)
+        # Updates keep their original order through the batch path, so the
+        # two executions are bit-identical, not just statistically close.
+        assert_mission_stats_equal(serial, chunked, exact_times=True)
+
+    def test_mixed_mission_counts_identical_costs_close(self, tiny_config):
+        workload = YCSBWorkload(
+            3000, lookup_fraction=0.5, seed=11, range_fraction=0.1
+        )
+        mission = next(iter(workload.missions(1, 1500)))
+        serial = self._run(tiny_config, 1, mission, workload)
+        chunked = self._run(tiny_config, 128, mission, workload)
+        assert_mission_stats_equal(serial, chunked, exact_times=False)
+
+
+class TestRusKeyEngineFacade:
+    def test_default_sharded_builds_one_lerp_per_shard(self, tiny_config):
+        store = RusKey(tiny_config, n_shards=3)
+        assert isinstance(store.engine, ShardedStore)
+        assert len(store.tuners) == 3
+        assert all(isinstance(t, Lerp) for t in store.tuners)
+        assert len({id(t) for t in store.tuners}) == 3
+        # Independent tuners must not share an exploration RNG stream.
+        assert len({t.config.seed for t in store.tuners}) == 3
+
+    def test_engine_and_n_shards_conflict_rejected(self, tiny_config):
+        with pytest.raises(ConfigError):
+            RusKey(
+                tiny_config,
+                engine=FLSMTree(tiny_config),
+                n_shards=4,
+            )
+
+    def test_explicit_tuner_is_shared_across_shards(self, tiny_config):
+        tuner = StaticTuner(2)
+        store = RusKey(tiny_config, tuner=tuner, n_shards=3)
+        assert store.tuners == [tuner, tuner, tuner]
+
+    def test_tuner_factory_builds_independent_tuners(self, tiny_config):
+        store = RusKey(
+            tiny_config, n_shards=2, tuner_factory=lambda cfg: StaticTuner(3)
+        )
+        assert len({id(t) for t in store.tuners}) == 2
+
+    def test_sharded_mission_loop_tunes_every_shard(self, tiny_config):
+        store = RusKey(tiny_config, tuner=StaticTuner(2), n_shards=4)
+        workload = UniformWorkload(2000, lookup_fraction=0.5, seed=1)
+        store.run_workload(workload, n_missions=3, mission_size=300)
+        assert len(store.mission_log) == 3
+        for shard in store.engine.shards:
+            assert all(p == 2 for p in shard.policies())
+
+    def test_sharded_model_update_time_folded_into_log(self, tiny_config):
+        store = RusKey(tiny_config, n_shards=2)
+        workload = UniformWorkload(2000, lookup_fraction=0.5, seed=1)
+        store.run_workload(workload, n_missions=2, mission_size=300)
+        parts = store.engine.last_mission_breakdown()
+        assert store.mission_log[-1].model_update_time == pytest.approx(
+            sum(p.model_update_time for p in parts)
+        )
+        assert store.mission_log[-1].model_update_time > 0.0
+
+    def test_custom_engine_injection(self, tiny_config):
+        engine = ShardedStore(tiny_config, 2)
+        store = RusKey(tiny_config, tuner=StaticTuner(1), engine=engine)
+        assert store.engine is engine
+        store.put(1, 5)
+        assert store.get(1) == 5
+        f, v = store.get_batch(np.array([1, 2], dtype=np.int64))
+        assert f.tolist() == [True, False] and v[0] == 5
+
+
+class TestHarnessShardingKnob:
+    def test_system_spec_runs_sharded(self, tiny_config):
+        from repro.bench.harness import Experiment, SystemSpec, run_system
+
+        experiment = Experiment(
+            name="sharded-smoke",
+            workload=YCSBWorkload(3000, lookup_fraction=0.3, seed=2),
+            n_missions=3,
+            mission_size=200,
+            base_config=tiny_config,
+            chunk_size=64,
+            systems=[
+                SystemSpec("K=1x4", lambda config: StaticTuner(1), 1, n_shards=4),
+            ],
+        )
+        result = run_system(experiment, experiment.systems[0])
+        assert len(result.missions) == 3
+        assert all(m.n_operations == 200 for m in result.missions)
+        assert (result.latencies > 0).all()

@@ -1,0 +1,67 @@
+"""Smoke tests for the examples/ scripts.
+
+Every example must be importable without side effects (all work behind a
+``main()`` guarded by ``__main__``) and must run end-to-end under a tiny
+configuration: the test shrinks each module's scale constants before
+calling ``main()``.
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Tiny scale applied to any example that defines these module constants.
+TINY = {
+    "N_RECORDS": 2_400,
+    "N_MISSIONS": 12,
+    "MISSION_SIZE": 200,
+    "MISSIONS_PER_SESSION": 6,
+    "TRANSITION_AT": 6,
+}
+
+
+def _import_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 5
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports_without_side_effects(path):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module = _import_example(path)
+    assert buffer.getvalue() == "", f"{path.name} prints on import"
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_runs_under_tiny_config(path):
+    module = _import_example(path)
+    for name, value in TINY.items():
+        if hasattr(module, name):
+            setattr(module, name, value)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    assert buffer.getvalue().strip(), f"{path.name} produced no output"

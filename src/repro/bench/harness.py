@@ -4,10 +4,23 @@ One *system* is a named way of building a store (a tuner plus its natural
 initial policy); one *experiment* runs several systems over one workload and
 collects per-mission latency series, policy traces and mission statistics —
 the raw material of every figure and table in the paper's evaluation.
+
+Long experiments can be checkpointed and resumed: set
+``Experiment.checkpoint_every`` (missions per checkpoint) and re-run with
+``resume=True`` — or drive it from the command line::
+
+    python -m repro.bench.harness dynamic --checkpoint-every 100 --resume
+
+Resume is *bit-exact*: workload generators are deterministic from their
+seed, so the already-processed prefix of the mission stream is regenerated
+and skipped, and the restored store (engine + tuners, see
+:mod:`repro.persist`) continues as if never interrupted.
 """
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -78,10 +91,33 @@ class SeriesResult:
         """End-to-end simulated seconds spent processing all missions."""
         return float(sum(m.total_time for m in self.missions))
 
+    @property
+    def cache_hits(self) -> int:
+        """Block-cache hits over all missions (summed across shards)."""
+        return sum(m.cache_hits for m in self.missions)
+
+    @property
+    def cache_misses(self) -> int:
+        """Block-cache misses over all missions (summed across shards)."""
+        return sum(m.cache_misses for m in self.missions)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Block-cache hit fraction over the whole run (0.0 = no cache or
+        no hits)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
 
 @dataclass
 class Experiment:
-    """A workload plus run-shape parameters shared by all systems."""
+    """A workload plus run-shape parameters shared by all systems.
+
+    ``checkpoint_every > 0`` snapshots each system's full store (engine +
+    tuners, via :mod:`repro.persist`) every that-many missions under
+    ``checkpoint_dir``; with ``resume=True`` an interrupted run picks up
+    from the latest checkpoint and finishes bit-exactly.
+    """
 
     name: str
     workload: WorkloadSpec
@@ -91,14 +127,61 @@ class Experiment:
     chunk_size: int = 128
     distribute_load: bool = True
     systems: List[SystemSpec] = field(default_factory=list)
+    checkpoint_every: int = 0
+    checkpoint_dir: str = "checkpoints"
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.n_missions < 1 or self.mission_size < 1:
             raise WorkloadError("n_missions and mission_size must be >= 1")
+        if self.checkpoint_every < 0:
+            raise WorkloadError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
 
 
-def run_system(experiment: Experiment, system: SystemSpec) -> SeriesResult:
-    """Run one system through the experiment's workload."""
+def _slug(text: str) -> str:
+    """A filesystem-safe token for checkpoint file names."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "unnamed"
+
+
+def checkpoint_path(experiment: Experiment, system: SystemSpec) -> str:
+    """Where one system's checkpoint of this experiment lives."""
+    return os.path.join(
+        experiment.checkpoint_dir,
+        f"{_slug(experiment.name)}__{_slug(system.name)}.ckpt",
+    )
+
+
+def _resume_fingerprint(
+    experiment: Experiment, system: SystemSpec
+) -> Dict[str, object]:
+    """Identifies the run a checkpoint was cut from.
+
+    The store config alone cannot distinguish two scale tiers that share a
+    ``SystemConfig`` but differ in record count, mission size or tuner
+    hyperparameters, so this fingerprint is saved in checkpoint meta and
+    must match on resume. (Tuners built by a custom ``make_tuner`` closure
+    are beyond fingerprinting; ``lerp_config`` covers the default path.)
+    """
+    workload = experiment.workload
+    n_records = getattr(workload, "n_records", None)
+    if n_records is None and hasattr(workload, "phases"):
+        n_records = getattr(workload.phases[0].spec, "n_records", None)
+    lerp_config = None
+    if system.lerp_config is not None:
+        from repro.persist import lerp_config_to_state
+
+        lerp_config = lerp_config_to_state(system.lerp_config)
+    return {
+        "workload": workload.name,
+        "mission_size": experiment.mission_size,
+        "n_records": n_records,
+        "lerp_config": lerp_config,
+    }
+
+
+def _build_store(experiment: Experiment, system: SystemSpec) -> RusKey:
     config = experiment.base_config.with_updates(
         initial_policy=system.initial_policy
     )
@@ -117,13 +200,69 @@ def run_system(experiment: Experiment, system: SystemSpec) -> SeriesResult:
     if hasattr(workload, "load_records"):
         keys, values = workload.load_records()  # type: ignore[attr-defined]
         store.bulk_load(keys, values, distribute=experiment.distribute_load)
-    store.run_missions(
-        workload.missions(experiment.n_missions, experiment.mission_size)
+    return store
+
+
+def run_system(experiment: Experiment, system: SystemSpec) -> SeriesResult:
+    """Run one system through the experiment's workload (checkpointing and
+    resuming per the experiment's settings)."""
+    ckpt_path: Optional[str] = None
+    if experiment.checkpoint_every > 0 or experiment.resume:
+        os.makedirs(experiment.checkpoint_dir, exist_ok=True)
+        ckpt_path = checkpoint_path(experiment, system)
+    store: Optional[RusKey] = None
+    if experiment.resume and ckpt_path and os.path.exists(ckpt_path):
+        from repro.errors import SnapshotError
+        from repro.persist import load_snapshot, store_from_snapshot
+
+        payload = load_snapshot(ckpt_path, expected_kind="store")
+        store = store_from_snapshot(payload)
+        expected_config = experiment.base_config.with_updates(
+            initial_policy=system.initial_policy
+        )
+        if (
+            store.config != expected_config
+            or store.runner.chunk_size != experiment.chunk_size
+            or payload["meta"].get("fingerprint")
+            != _resume_fingerprint(experiment, system)
+        ):
+            raise SnapshotError(
+                f"checkpoint {ckpt_path} was taken under a different "
+                "configuration, workload shape or tuner setup (e.g. "
+                "another REPRO_BENCH_SCALE or chunk size); delete it or "
+                "rerun with the matching settings"
+            )
+    if store is None:
+        store = _build_store(experiment, system)
+    done = store.missions_run
+    missions = experiment.workload.missions(
+        experiment.n_missions, experiment.mission_size
     )
+    for index, mission in enumerate(missions):
+        if index < done:
+            continue  # deterministic generator: regenerate and skip
+        store.run_mission(mission)
+        if (
+            ckpt_path
+            and experiment.checkpoint_every > 0
+            and (index + 1) % experiment.checkpoint_every == 0
+        ):
+            from repro.persist import save_store
+
+            save_store(
+                store,
+                ckpt_path,
+                meta={
+                    "experiment": experiment.name,
+                    "fingerprint": _resume_fingerprint(experiment, system),
+                },
+            )
+    # A checkpoint may hold more missions than this run asked for (resuming
+    # a shortened experiment); report exactly the requested prefix.
     return SeriesResult(
         system=system.name,
-        missions=store.mission_log,
-        policy_history=store.policy_history,
+        missions=store.mission_log[: experiment.n_missions],
+        policy_history=store.policy_history[: experiment.n_missions],
     )
 
 
@@ -170,3 +309,87 @@ def session_rankings(
         for position, name in enumerate(ordered, start=1):
             ranks[name].append(position)
     return ranks
+
+
+# ----------------------------------------------------------------------
+# Command line: run a named experiment with checkpoint/resume support
+# ----------------------------------------------------------------------
+def _named_experiment(name: str) -> Experiment:
+    """Build one of the canonical experiments by name.
+
+    Imported lazily: :mod:`repro.bench.experiments` imports this module.
+    """
+    from repro.bench import experiments
+
+    if name == "dynamic":
+        return experiments.dynamic_workload_experiment()
+    if name == "dynamic-greedy":
+        return experiments.dynamic_workload_experiment(include_greedy=True)
+    kind, _, panel = name.partition(":")
+    if kind == "static" and panel:
+        return experiments.static_workload_experiment(panel)
+    if kind == "ycsb" and panel:
+        return experiments.ycsb_experiment(panel)
+    raise WorkloadError(
+        f"unknown experiment {name!r}; use dynamic, dynamic-greedy, "
+        "static:<read-heavy|write-heavy|balanced> or "
+        "ycsb:<read-heavy|write-heavy|balanced|range>"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.bench.harness <experiment> [options]``."""
+    import argparse
+
+    from repro.bench.reporting import format_summary
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.harness",
+        description="Run a canonical experiment with optional "
+        "checkpoint-every-K-missions and bit-exact --resume.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="dynamic | dynamic-greedy | static:<mix> | ycsb:<panel>",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="snapshot each system every K missions (0 disables)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default="checkpoints",
+        help="directory for checkpoint files (default: checkpoints/)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from existing checkpoints instead of starting over",
+    )
+    parser.add_argument(
+        "--last-n",
+        type=int,
+        default=None,
+        help="missions to average in the summary (default: all)",
+    )
+    args = parser.parse_args(argv)
+    if args.checkpoint_every < 0:
+        parser.error("--checkpoint-every must be >= 0")
+    experiment = _named_experiment(args.experiment)
+    experiment.checkpoint_every = args.checkpoint_every
+    experiment.checkpoint_dir = args.checkpoint_dir
+    experiment.resume = args.resume
+    results = run_experiment(experiment)
+    print(
+        format_summary(
+            results, last_n=args.last_n, title=f"== {experiment.name} =="
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,16 +54,26 @@ def format_summary(
     last_n: Optional[int] = None,
     title: str = "",
 ) -> str:
-    """Converged mean latency per system, best first."""
+    """Converged mean latency per system, best first.
+
+    When any system ran with a block cache configured (mission records
+    carry cache traffic), a cache hit-rate column is added — hit/miss
+    counters are aggregated across shards by the engine's mission records.
+    """
     lines: List[str] = []
     if title:
         lines.append(title)
     ordered = sorted(results.values(), key=lambda r: r.mean_latency(last_n))
-    lines.append(f"{'system':>20} | {'latency (ms/op)':>16}")
+    with_cache = any(r.cache_hits + r.cache_misses > 0 for r in ordered)
+    header = f"{'system':>20} | {'latency (ms/op)':>16}"
+    if with_cache:
+        header += f" | {'cache hit %':>11}"
+    lines.append(header)
     for result in ordered:
-        lines.append(
-            f"{result.system:>20} | {result.mean_latency(last_n) * 1e3:16.5f}"
-        )
+        row = f"{result.system:>20} | {result.mean_latency(last_n) * 1e3:16.5f}"
+        if with_cache:
+            row += f" | {result.cache_hit_rate * 100:11.2f}"
+        lines.append(row)
     return "\n".join(lines)
 
 

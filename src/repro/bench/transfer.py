@@ -1,0 +1,234 @@
+"""Pretrain → finetune transfer: does a trained Lerp warm-start pay off?
+
+The paper motivates RL tuning for dynamic workloads partly because a model
+"can be pre-trained offline and redeployed"; CAMAL (arXiv:2409.15130) makes
+the same point through sample efficiency. This experiment measures that
+claim directly:
+
+1. **Pretrain** — RusKey runs a multi-session dynamic schedule A; the
+   trained tuner (networks, replay, optimizer moments, scales) is
+   snapshotted with :meth:`repro.core.lerp.Lerp.state_dict`.
+2. **Transfer** — two fresh stores run an *unseen* dynamic schedule B (new
+   mixes, new seed, fresh data): *cold-start* begins from scratch;
+   *warm-start* loads the pretrained tuner state and re-enters tuning via
+   :meth:`~repro.core.lerp.Lerp.warm_start` (episode bookkeeping cleared,
+   exploration reduced — the critic already knows the cost surface).
+3. **Report** — per-phase latency for both, plus adaptation-phase and
+   settled means (``bench_reports/warmstart_transfer.txt``).
+
+Both transfer stores process an identical mission stream against identical
+initial data, so every difference in the series is attributable to the
+tuner's starting state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.experiments import BenchScale, base_config, bench_lerp_config, bench_scale
+from repro.config import SystemConfig
+from repro.core.lerp import Lerp, LerpConfig
+from repro.core.ruskey import RusKey
+from repro.lsm.stats import MissionStats
+from repro.workload.dynamic import DynamicWorkload, WorkloadPhase
+from repro.workload.uniform import UniformWorkload
+
+
+@dataclass
+class TransferRun:
+    """One store's trajectory through the transfer schedule."""
+
+    name: str
+    missions: List[MissionStats]
+    policy_history: List[List[int]]
+    tuner_restarts: int
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.asarray([m.latency_per_op for m in self.missions])
+
+    def mean_latency(self, start: int = 0, stop: Optional[int] = None) -> float:
+        series = self.latencies[start:stop]
+        return float(series.mean()) if len(series) else 0.0
+
+
+@dataclass
+class TransferResult:
+    """Everything the warm-start transfer experiment produces."""
+
+    pretrain: TransferRun
+    warm: TransferRun
+    cold: TransferRun
+    n_transfer_missions: int
+
+    def adaptation_window(self) -> int:
+        """Missions counted as the adaptation phase (first third)."""
+        return max(1, self.n_transfer_missions // 3)
+
+
+def _dynamic_schedule(
+    mixes: List[float],
+    names: List[str],
+    n_records: int,
+    missions_per_session: int,
+    seed: int,
+    label: str,
+) -> DynamicWorkload:
+    phases = [
+        WorkloadPhase(
+            UniformWorkload(
+                n_records,
+                lookup_fraction=lookup_fraction,
+                seed=seed + i,
+                name=names[i],
+            ),
+            missions_per_session,
+        )
+        for i, lookup_fraction in enumerate(mixes)
+    ]
+    return DynamicWorkload(phases, name=label)
+
+
+def pretrain_schedule(scale: BenchScale, seed: int = 0) -> DynamicWorkload:
+    """Schedule A: the mixes Lerp trains on (read-heavy → write-heavy →
+    balanced)."""
+    return _dynamic_schedule(
+        [0.9, 0.1, 0.5],
+        ["read-heavy", "write-heavy", "balanced"],
+        scale.n_records,
+        scale.session_missions,
+        seed + 41,
+        "transfer-pretrain",
+    )
+
+
+def transfer_schedule(scale: BenchScale, seed: int = 0) -> DynamicWorkload:
+    """Schedule B: *unseen* mixes (read-inclined → write-inclined), a new
+    generator seed and therefore new key/value draws."""
+    return _dynamic_schedule(
+        [0.7, 0.3],
+        ["read-inclined", "write-inclined"],
+        scale.n_records,
+        scale.session_missions,
+        seed + 97,
+        "transfer-unseen",
+    )
+
+
+def _run_store(
+    store: RusKey,
+    workload: DynamicWorkload,
+    mission_size: int,
+    name: str,
+) -> TransferRun:
+    keys, values = workload.load_records()
+    store.bulk_load(keys, values, distribute=True)
+    for mission in workload.missions(workload.total_missions, mission_size):
+        store.run_mission(mission)
+    restarts = (
+        store.tuner.restarts if isinstance(store.tuner, Lerp) else 0
+    )
+    return TransferRun(
+        name=name,
+        missions=store.mission_log,
+        policy_history=store.policy_history,
+        tuner_restarts=restarts,
+    )
+
+
+def run_warmstart_transfer(
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+    exploration_scale: float = 0.5,
+) -> TransferResult:
+    """Run the full pretrain → (warm vs cold) transfer experiment."""
+    scale = scale or bench_scale()
+    config: SystemConfig = base_config(scale=scale, seed=seed)
+
+    schedule_a = pretrain_schedule(scale, seed)
+    lerp_a: LerpConfig = bench_lerp_config(scale.session_missions, seed=seed)
+    pretrain_store = RusKey(config, lerp_config=lerp_a)
+    pretrain = _run_store(
+        pretrain_store, schedule_a, scale.mission_size, "pretrain"
+    )
+    tuner_state = pretrain_store.tuner.state_dict()
+
+    schedule_b = transfer_schedule(scale, seed)
+    lerp_b: LerpConfig = bench_lerp_config(
+        scale.session_missions, seed=seed + 1
+    )
+
+    cold_store = RusKey(config, lerp_config=lerp_b)
+    cold = _run_store(cold_store, schedule_b, scale.mission_size, "cold-start")
+
+    warm_store = RusKey(config, lerp_config=lerp_b)
+    assert isinstance(warm_store.tuner, Lerp)
+    warm_store.tuner.load_state_dict(tuner_state)
+    warm_store.tuner.warm_start(exploration_scale=exploration_scale)
+    warm = _run_store(warm_store, schedule_b, scale.mission_size, "warm-start")
+
+    return TransferResult(
+        pretrain=pretrain,
+        warm=warm,
+        cold=cold,
+        n_transfer_missions=schedule_b.total_missions,
+    )
+
+
+def format_transfer_report(
+    result: TransferResult,
+    schedule_b: DynamicWorkload,
+    every: int = 25,
+) -> str:
+    """The ``warmstart_transfer.txt`` report: series plus phase summaries."""
+    lines: List[str] = []
+    lines.append("Warm-start transfer: pretrained Lerp vs cold start on an")
+    lines.append("unseen dynamic schedule (latencies in simulated ms/op).")
+    lines.append("")
+    phase_names = [phase.spec.name for phase in schedule_b.phases]
+    lines.append(
+        f"pretrain schedule : read-heavy -> write-heavy -> balanced "
+        f"({len(result.pretrain.missions)} missions)"
+    )
+    lines.append(
+        f"transfer schedule : {' -> '.join(phase_names)} "
+        f"({result.n_transfer_missions} missions, unseen mixes & seed)"
+    )
+    lines.append("")
+    header = f"{'mission':>8} | {'warm-start':>12} | {'cold-start':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    n = min(len(result.warm.missions), len(result.cold.missions))
+    for i in range(0, n, every):
+        lines.append(
+            f"{i:>8} | {result.warm.latencies[i] * 1e3:12.5f} "
+            f"| {result.cold.latencies[i] * 1e3:12.5f}"
+        )
+    adapt = result.adaptation_window()
+    settle = max(1, result.n_transfer_missions // 3)
+    lines.append("")
+    lines.append(f"{'phase':>24} | {'warm-start':>12} | {'cold-start':>12}")
+    lines.append(
+        f"{'adaptation (first ' + str(adapt) + ')':>24} "
+        f"| {result.warm.mean_latency(0, adapt) * 1e3:12.5f} "
+        f"| {result.cold.mean_latency(0, adapt) * 1e3:12.5f}"
+    )
+    lines.append(
+        f"{'settled (last ' + str(settle) + ')':>24} "
+        f"| {result.warm.mean_latency(n - settle) * 1e3:12.5f} "
+        f"| {result.cold.mean_latency(n - settle) * 1e3:12.5f}"
+    )
+    lines.append(
+        f"{'overall':>24} "
+        f"| {result.warm.mean_latency() * 1e3:12.5f} "
+        f"| {result.cold.mean_latency() * 1e3:12.5f}"
+    )
+    lines.append("")
+    lines.append(
+        f"tuner restarts (workload shifts detected): "
+        f"warm={result.warm.tuner_restarts} cold={result.cold.tuner_restarts}"
+    )
+    return "\n".join(lines)

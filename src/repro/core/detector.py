@@ -74,3 +74,19 @@ class WorkloadChangeDetector:
     def reset(self) -> None:
         self._ema = None
         self._streak = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "ema": self._ema,
+            "streak": self._streak,
+            "changes_detected": self.changes_detected,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        ema = state["ema"]
+        self._ema = None if ema is None else float(ema)
+        self._streak = int(state["streak"])
+        self.changes_detected = int(state["changes_detected"])

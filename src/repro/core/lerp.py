@@ -425,6 +425,149 @@ class Lerp(Tuner):
         self._level_scales.clear()
 
     # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist and DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full serializable snapshot of the tuner.
+
+        Covers the learned networks (per-level agents and the joint-ablation
+        agent), replay buffers, optimizers, exploration state, normalization
+        scales, the change detector, the tuning-stage bookkeeping and the
+        shared RNG — everything needed to resume tuning bit-exactly.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "detector": self.detector.state_dict(),
+            "scale": self._scale.state_dict(),
+            "level_scales": {
+                level_no: scale.state_dict()
+                for level_no, scale in self._level_scales.items()
+            },
+            "agents": {
+                level_no: agent.state_dict()
+                for level_no, agent in self._agents.items()
+            },
+            "joint_agent": (
+                None if self._joint_agent is None
+                else self._joint_agent.state_dict()
+            ),
+            "last": {
+                level_no: (state.copy(), action.copy())
+                for level_no, (state, action) in self._last.items()
+            },
+            "reward_windows": {
+                level_no: list(window)
+                for level_no, window in self._reward_windows.items()
+            },
+            "arm_stats": {
+                level_no: {policy: list(v) for policy, v in arms.items()}
+                for level_no, arms in self._arm_stats.items()
+            },
+            "k_history": list(self._k_history),
+            "stage_missions": self._stage_missions,
+            "stage_idx": self._stage_idx,
+            "learned": list(self._learned),
+            "burn_in_left": self._burn_in_left,
+            "propagated": (
+                None if self._propagated is None else list(self._propagated)
+            ),
+            "converged": self.converged,
+            "restarts": self.restarts,
+            "total_model_update_s": self.total_model_update_s,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the tuner in place from :meth:`state_dict` output.
+
+        The tuner must have been constructed with an equivalent
+        :class:`LerpConfig` (same agent architecture and mode). Agents are
+        instantiated first — their construction-time weight draws are then
+        overwritten, and the shared RNG state is restored last so the draw
+        sequence continues exactly where the snapshot left it.
+        """
+        self.detector.load_state_dict(state["detector"])
+        self._scale = RunningScale(alpha=self.config.scale_alpha)
+        self._scale.load_state_dict(state["scale"])
+        self._level_scales = {}
+        for level_no, scale_state in state["level_scales"].items():
+            scale = RunningScale(alpha=self.config.scale_alpha)
+            scale.load_state_dict(scale_state)
+            self._level_scales[int(level_no)] = scale
+        self._agents = {}
+        for level_no, agent_state in state["agents"].items():
+            agent = self._make_agent()
+            agent.load_state_dict(agent_state)
+            self._agents[int(level_no)] = agent
+        if state["joint_agent"] is None:
+            self._joint_agent = None
+        else:
+            self._joint_agent = self._make_joint_agent()
+            self._joint_agent.load_state_dict(state["joint_agent"])
+        self._last = {
+            int(level_no): (np.array(s), np.array(a))
+            for level_no, (s, a) in state["last"].items()
+        }
+        self._reward_windows = {
+            int(level_no): deque(values, maxlen=self.config.reward_smoothing)
+            for level_no, values in state["reward_windows"].items()
+        }
+        self._arm_stats = {
+            int(level_no): {
+                int(policy): list(v) for policy, v in arms.items()
+            }
+            for level_no, arms in state["arm_stats"].items()
+        }
+        self._k_history = deque(
+            state["k_history"], maxlen=self.config.stable_window
+        )
+        self._stage_missions = int(state["stage_missions"])
+        self._stage_idx = int(state["stage_idx"])
+        self._learned = [int(k) for k in state["learned"]]
+        self._burn_in_left = int(state["burn_in_left"])
+        propagated = state["propagated"]
+        self._propagated = (
+            None if propagated is None else [int(k) for k in propagated]
+        )
+        self.converged = bool(state["converged"])
+        self.restarts = int(state["restarts"])
+        self.total_model_update_s = float(state["total_model_update_s"])
+        # Last: continue the exploration / sampling draw sequence exactly.
+        self._rng.bit_generator.state = state["rng"]
+
+    def warm_start(self, exploration_scale: float = 0.5) -> None:
+        """Re-enter tuning for a *new* workload with pre-trained models.
+
+        Keeps the learned networks, optimizers and replay buffers (the state
+        vector encodes the workload mix, so old experience transfers) but
+        clears episode-specific bookkeeping, re-opens scale calibration and
+        restores exploration at ``exploration_scale`` of the configured
+        level — a pre-trained critic needs less random search than a cold
+        start. Used by the warm-start transfer experiment
+        (:mod:`repro.bench.transfer`).
+        """
+        if exploration_scale <= 0.0:
+            raise RLError(
+                f"exploration_scale must be > 0, got {exploration_scale}"
+            )
+        self._restart()
+        self.restarts = 0
+        self.detector.reset()
+        for agent in list(self._agents.values()) + (
+            [self._joint_agent] if self._joint_agent is not None else []
+        ):
+            if isinstance(agent, DDPGAgent):
+                agent.reset_exploration(
+                    agent.config.noise_sigma * exploration_scale
+                )
+            else:
+                agent.reset_exploration(
+                    max(
+                        agent.config.epsilon_min,
+                        agent.config.epsilon_start * exploration_scale,
+                    )
+                )
+
+    # ------------------------------------------------------------------
     # Brute-force ablation: one agent over the joint action space
     # ------------------------------------------------------------------
     def _joint_state(self, tree: LSMTree, mission: MissionStats) -> np.ndarray:
@@ -443,17 +586,21 @@ class Lerp(Tuner):
         )
         return np.concatenate([policies, fills, tail])
 
+    def _make_joint_agent(self) -> DDPGAgent:
+        cfg = self.config
+        joint_cfg = DDPGConfig(
+            state_dim=2 * JOINT_MAX_LEVELS + 2,
+            action_dim=JOINT_MAX_LEVELS,
+            hidden=cfg.ddpg.hidden,
+            noise_sigma=cfg.ddpg.noise_sigma,
+            noise_decay=cfg.ddpg.noise_decay,
+        )
+        return DDPGAgent(joint_cfg, self._rng)
+
     def _observe_joint(self, tree: LSMTree, mission: MissionStats) -> None:
         cfg = self.config
         if self._joint_agent is None:
-            joint_cfg = DDPGConfig(
-                state_dim=2 * JOINT_MAX_LEVELS + 2,
-                action_dim=JOINT_MAX_LEVELS,
-                hidden=cfg.ddpg.hidden,
-                noise_sigma=cfg.ddpg.noise_sigma,
-                noise_decay=cfg.ddpg.noise_decay,
-            )
-            self._joint_agent = DDPGAgent(joint_cfg, self._rng)
+            self._joint_agent = self._make_joint_agent()
         agent = self._joint_agent
         state = self._joint_state(tree, mission)
         reward = -self._scale.normalize(

@@ -37,7 +37,7 @@ from repro.core.lerp import Lerp, LerpConfig
 from repro.core.missions import MissionRunner
 from repro.core.tuners import Tuner
 from repro.engine.sharded import ShardedStore
-from repro.errors import ConfigError, WorkloadError
+from repro.errors import ConfigError, SnapshotError, WorkloadError
 from repro.lsm.flsm import FLSMTree
 from repro.lsm.stats import MissionStats
 from repro.workload.spec import Mission, WorkloadSpec
@@ -55,6 +55,7 @@ class RusKey:
         engine=None,
         n_shards: int = 1,
         tuner_factory: Optional[Callable[[SystemConfig], Tuner]] = None,
+        tuners: Optional[List[Tuner]] = None,
     ) -> None:
         self.config = config if config is not None else SystemConfig()
         if n_shards < 1:
@@ -73,7 +74,14 @@ class RusKey:
         #: Legacy alias — for an unsharded store the engine *is* the tree.
         self.tree = engine
         targets = engine.tuning_targets()
-        if tuner_factory is not None:
+        if tuners is not None:
+            if len(tuners) != len(targets):
+                raise ConfigError(
+                    f"got {len(tuners)} tuners for {len(targets)} tuning "
+                    "targets; pass one per target"
+                )
+            self.tuners = list(tuners)
+        elif tuner_factory is not None:
             self.tuners: List[Tuner] = [
                 tuner_factory(self.config) for _ in targets
             ]
@@ -188,6 +196,61 @@ class RusKey:
     def run_missions(self, missions: Iterable[Mission]) -> List[MissionStats]:
         """Run a pre-built mission stream."""
         return [self.run_mission(mission) for mission in missions]
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist and DESIGN.md §6)
+    # ------------------------------------------------------------------
+    @property
+    def missions_run(self) -> int:
+        """Number of missions processed so far (the resume cursor)."""
+        return len(self.mission_log)
+
+    def state_dict(self) -> dict:
+        """Full serializable snapshot of the store: engine, tuner(s) and the
+        controller's mission/policy logs. A shared tuner (one instance
+        observing every shard) is snapshotted once."""
+        shared = all(t is self.tuners[0] for t in self.tuners)
+        return {
+            "engine": self.engine.state_dict(),
+            "tuners_shared": shared,
+            "tuners": (
+                [self.tuners[0].state_dict()]
+                if shared
+                else [t.state_dict() for t in self.tuners]
+            ),
+            "mission_log": [m.state_dict() for m in self.mission_log],
+            "policy_history": [list(p) for p in self.policy_history],
+            "chunk_size": self.runner.chunk_size,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore engine, tuner(s) and logs in place. The store must have
+        been constructed with the same config, topology and tuner kinds."""
+        self.engine.load_state_dict(state["engine"])
+        saved = state["tuners"]
+        saved_shared = bool(state["tuners_shared"])
+        shared = all(t is self.tuners[0] for t in self.tuners)
+        if saved_shared != shared and len(self.tuners) > 1:
+            raise SnapshotError(
+                "tuner topology mismatch: snapshot was taken with "
+                f"{'a shared tuner' if saved_shared else 'independent tuners'}"
+                f", this store has "
+                f"{'a shared tuner' if shared else 'independent tuners'}"
+            )
+        if saved_shared:
+            self.tuners[0].load_state_dict(saved[0])
+        else:
+            if len(saved) != len(self.tuners):
+                raise SnapshotError(
+                    f"tuner-count mismatch: snapshot has {len(saved)}, "
+                    f"this store has {len(self.tuners)}"
+                )
+            for tuner, tuner_state in zip(self.tuners, saved):
+                tuner.load_state_dict(tuner_state)
+        self.mission_log = [
+            MissionStats.from_state_dict(m) for m in state["mission_log"]
+        ]
+        self.policy_history = [list(p) for p in state["policy_history"]]
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -82,6 +82,18 @@ class RunningScale:
             return 0.0
         return float(min(sample / self.value, 10.0))
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The mutable pieces: the anchor value and the sample count (the
+        hyperparameters come from the owner's config at reconstruction)."""
+        return {"value": self.value, "count": self._count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.value = float(state["value"])
+        self._count = int(state["count"])
+
 
 def level_state(
     tree: LSMTree,

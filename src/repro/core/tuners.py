@@ -34,6 +34,23 @@ class Tuner:
     def reset(self) -> None:
         """Forget any adaptive state (between experiment repetitions)."""
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of any adaptive state.
+
+        The base tuners (static, lazy-leveling, greedy-threshold) hold only
+        construction-time configuration, so the default is empty;
+        :class:`repro.core.lerp.Lerp` overrides both hooks with its full
+        learned state.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore adaptive state from :meth:`state_dict` output."""
+        return None
+
 
 class NoOpTuner(Tuner):
     """Leaves the tree exactly as configured."""

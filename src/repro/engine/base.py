@@ -36,6 +36,7 @@ The contract, beyond plain data access:
 from __future__ import annotations
 
 from typing import (
+    Dict,
     List,
     Optional,
     Protocol,
@@ -118,10 +119,41 @@ class KVEngine(Protocol):
         """Set the policy of levels ``1..len(policies)`` on every tree."""
         ...
 
+    # -- persistence ----------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full serializable snapshot of the engine (between missions).
+
+        The returned mapping contains only primitives, numpy arrays and
+        nested containers thereof; :mod:`repro.persist` wraps it in a
+        versioned snapshot file. A restored engine must be *bit-exact*:
+        running the same operation stream after a save/load cycle yields
+        the same stats, clock, counters and tree structure as never having
+        snapshotted at all.
+        """
+        ...
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the engine in place from :meth:`state_dict` output.
+
+        The engine must have been constructed with the same
+        :class:`SystemConfig` (and topology) the snapshot was taken under.
+        """
+        ...
+
     # -- introspection --------------------------------------------------
     @property
     def stats(self) -> object:
         """The engine's statistics view (collector or aggregate)."""
+        ...
+
+    @property
+    def cache_hits(self) -> int:
+        """Cumulative (aggregated) block-cache hits."""
+        ...
+
+    @property
+    def cache_misses(self) -> int:
+        """Cumulative (aggregated) block-cache misses."""
         ...
 
     @property

@@ -87,6 +87,8 @@ def merge_mission_stats(
         io=merge_io_counters([p.io for p in parts]),
         sim_duration=sum(p.sim_duration for p in parts),
         model_update_time=sum(p.model_update_time for p in parts),
+        cache_hits=sum(p.cache_hits for p in parts),
+        cache_misses=sum(p.cache_misses for p in parts),
     )
 
 
@@ -355,6 +357,22 @@ class ShardedStore:
         return sum(s.clock_now for s in self.shards)
 
     @property
+    def cache_hits(self) -> int:
+        """Block-cache hits summed across shards."""
+        return sum(s.cache_hits for s in self.shards)
+
+    @property
+    def cache_misses(self) -> int:
+        """Block-cache misses summed across shards."""
+        return sum(s.cache_misses for s in self.shards)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Aggregated block-cache hit fraction (0.0 with no traffic)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
     def total_entries(self) -> int:
         return sum(s.total_entries for s in self.shards)
 
@@ -377,3 +395,33 @@ class ShardedStore:
             for level_no, runs in shard.read_amplification_snapshot().items():
                 merged[level_no] = merged.get(level_no, 0) + runs
         return merged
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist and DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Per-shard snapshots plus the store's aggregation state."""
+        return {
+            "n_shards": self.n_shards,
+            "shards": [shard.state_dict() for shard in self.shards],
+            "mission_index": self._mission_index,
+            "last_breakdown": [m.state_dict() for m in self._last_breakdown],
+            "completed": [m.state_dict() for m in self._stats.completed],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore every shard in place plus the aggregated mission log."""
+        if int(state["n_shards"]) != self.n_shards:
+            raise TreeStateError(
+                f"shard-count mismatch: snapshot has {state['n_shards']} "
+                f"shards, this store has {self.n_shards}"
+            )
+        for shard, shard_state in zip(self.shards, state["shards"]):
+            shard.load_state_dict(shard_state)
+        self._mission_index = int(state["mission_index"])
+        self._last_breakdown = [
+            MissionStats.from_state_dict(m) for m in state["last_breakdown"]
+        ]
+        self._stats.completed = [
+            MissionStats.from_state_dict(m) for m in state["completed"]
+        ]

@@ -58,3 +58,8 @@ class WorkloadError(ReproError):
 class RLError(ReproError):
     """A reinforcement-learning component was mis-configured or used out of
     order (e.g. sampling an empty replay buffer)."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be written, read, or restored (unknown format,
+    version mismatch, state incompatible with the receiving object)."""

@@ -53,6 +53,20 @@ class FLSMTree(LSMTree):
         )
         return cost
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["transition_log"] = [dict(entry) for entry in self.transition_log]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.transition_log = [
+            dict(entry) for entry in state.get("transition_log", [])
+        ]
+
     def transform_policies(self, new_policies: Sequence[int]) -> float:
         """Flexibly transition every level; returns total immediate cost."""
         before = self.clock.now

@@ -190,6 +190,37 @@ class Level:
                     f"level {run.level_no}"
                 )
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the level and its runs (oldest first)."""
+        return {
+            "level_no": self.level_no,
+            "capacity_entries": self.capacity_entries,
+            "policy": self.policy,
+            "pending_policy": self.pending_policy,
+            "fpr": self.fpr,
+            "max_policy": self.max_policy,
+            "runs": [run.state_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict, run_builder) -> "Level":
+        """Rebuild a level; ``run_builder(run_state)`` reconstructs each run
+        (the tree supplies one bound to its Bloom mode and RNG)."""
+        level = cls(
+            level_no=int(state["level_no"]),
+            capacity_entries=int(state["capacity_entries"]),
+            policy=int(state["policy"]),
+            fpr=float(state["fpr"]),
+            max_policy=int(state["max_policy"]),
+        )
+        pending = state["pending_policy"]
+        level.pending_policy = None if pending is None else int(pending)
+        level.runs = [run_builder(run_state) for run_state in state["runs"]]
+        return level
+
     def __repr__(self) -> str:
         return (
             f"Level(no={self.level_no}, K={self.policy}, runs={self.n_runs}, "

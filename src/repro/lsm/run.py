@@ -191,6 +191,50 @@ class SortedRun:
             last_page - first_page + 1,
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the run.
+
+        The Bloom filter is not serialized: both implementations are exactly
+        reconstructible from the run's keys — the bit-array filter is a
+        deterministic function of ``(keys, fpr, run_id)`` and the analytical
+        filter holds no state beyond a reference to the owner's RNG (whose
+        state the owning tree snapshots).
+        """
+        return {
+            "run_id": self.run_id,
+            "level_no": self.level_no,
+            "keys": self.keys.copy(),
+            "values": self.values.copy(),
+            "fpr": self.fpr,
+            "capacity_entries": self.capacity_entries,
+            "entries_per_page": self._entries_per_page,
+            "sealed": self.sealed,
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        bloom_mode: BloomMode,
+        rng: np.random.Generator,
+    ) -> "SortedRun":
+        """Rebuild a run (and its Bloom filter) from :meth:`state_dict`."""
+        return cls(
+            run_id=int(state["run_id"]),
+            level_no=int(state["level_no"]),
+            keys=state["keys"],
+            values=state["values"],
+            fpr=float(state["fpr"]),
+            capacity_entries=int(state["capacity_entries"]),
+            entries_per_page=int(state["entries_per_page"]),
+            bloom_mode=bloom_mode,
+            rng=rng,
+            sealed=bool(state["sealed"]),
+        )
+
     def __repr__(self) -> str:
         state = "sealed" if self.sealed else "active"
         return (

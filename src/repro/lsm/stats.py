@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import SnapshotError
 from repro.storage.pager import IOCounters
 
 #: Pseudo-level used for costs not attributable to a disk level (memtable).
@@ -39,10 +40,18 @@ class MissionStats:
     io: IOCounters = field(default_factory=IOCounters)
     sim_duration: float = 0.0
     model_update_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def n_operations(self) -> int:
         return self.n_lookups + self.n_updates + self.n_ranges
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Block-cache hit fraction during the mission (0.0 with no traffic)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def lookup_fraction(self) -> float:
@@ -68,6 +77,51 @@ class MissionStats:
             level_no, 0.0
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of one mission record."""
+        return {
+            "index": self.index,
+            "n_lookups": self.n_lookups,
+            "n_updates": self.n_updates,
+            "n_ranges": self.n_ranges,
+            "read_time": self.read_time,
+            "write_time": self.write_time,
+            "level_read_time": dict(self.level_read_time),
+            "level_write_time": dict(self.level_write_time),
+            "io": self.io.state_dict(),
+            "sim_duration": self.sim_duration,
+            "model_update_time": self.model_update_time,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "MissionStats":
+        io = IOCounters()
+        io.load_state_dict(state["io"])
+        return cls(
+            index=int(state["index"]),
+            n_lookups=int(state["n_lookups"]),
+            n_updates=int(state["n_updates"]),
+            n_ranges=int(state["n_ranges"]),
+            read_time=float(state["read_time"]),
+            write_time=float(state["write_time"]),
+            level_read_time={
+                int(k): float(v) for k, v in state["level_read_time"].items()
+            },
+            level_write_time={
+                int(k): float(v) for k, v in state["level_write_time"].items()
+            },
+            io=io,
+            sim_duration=float(state["sim_duration"]),
+            model_update_time=float(state["model_update_time"]),
+            cache_hits=int(state["cache_hits"]),
+            cache_misses=int(state["cache_misses"]),
+        )
+
 
 class StatsCollector:
     """Attributes simulated costs to levels and mission windows."""
@@ -86,6 +140,7 @@ class StatsCollector:
         self.level_write_time: Dict[int, float] = {}
         self._io_snapshot: Optional[IOCounters] = None
         self._clock_snapshot: float = 0.0
+        self._cache_snapshot: "tuple[int, int]" = (0, 0)
 
     # ------------------------------------------------------------------
     # Mission windows
@@ -94,15 +149,32 @@ class StatsCollector:
     def in_mission(self) -> bool:
         return self._current is not None
 
-    def begin_mission(self, io: IOCounters, clock_now: float) -> None:
-        """Open a mission window; one must not already be open."""
+    def begin_mission(
+        self,
+        io: IOCounters,
+        clock_now: float,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        """Open a mission window; one must not already be open.
+
+        ``cache_hits``/``cache_misses`` are the engine's cumulative
+        block-cache counters at window start (0 for engines without a cache).
+        """
         if self._current is not None:
             raise RuntimeError("a mission is already in progress")
         self._current = MissionStats(index=self._mission_index)
         self._io_snapshot = io.snapshot()
         self._clock_snapshot = clock_now
+        self._cache_snapshot = (int(cache_hits), int(cache_misses))
 
-    def end_mission(self, io: IOCounters, clock_now: float) -> MissionStats:
+    def end_mission(
+        self,
+        io: IOCounters,
+        clock_now: float,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> MissionStats:
         """Close the current mission window and return its stats."""
         if self._current is None:
             raise RuntimeError("no mission in progress")
@@ -110,6 +182,8 @@ class StatsCollector:
         assert self._io_snapshot is not None
         mission.io = io.diff(self._io_snapshot)
         mission.sim_duration = clock_now - self._clock_snapshot
+        mission.cache_hits = int(cache_hits) - self._cache_snapshot[0]
+        mission.cache_misses = int(cache_misses) - self._cache_snapshot[1]
         self.completed.append(mission)
         self._mission_index += 1
         self._current = None
@@ -185,3 +259,53 @@ class StatsCollector:
         if n <= 0:
             return []
         return self.completed[-n:]
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of the collector.
+
+        Snapshots are only valid between missions: an open window holds a
+        reference to live engine counters that cannot be restored into a
+        fresh process.
+        """
+        if self._current is not None:
+            raise SnapshotError(
+                "cannot snapshot a StatsCollector mid-mission; "
+                "close the window first"
+            )
+        return {
+            "mission_index": self._mission_index,
+            "completed": [m.state_dict() for m in self.completed],
+            "total_read_time": self.total_read_time,
+            "total_write_time": self.total_write_time,
+            "total_lookups": self.total_lookups,
+            "total_updates": self.total_updates,
+            "total_ranges": self.total_ranges,
+            "level_read_time": dict(self.level_read_time),
+            "level_write_time": dict(self.level_write_time),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the collector in place (aggregated views keep their
+        reference to this object)."""
+        self._mission_index = int(state["mission_index"])
+        self._current = None
+        self._io_snapshot = None
+        self._clock_snapshot = 0.0
+        self._cache_snapshot = (0, 0)
+        self.completed = [
+            MissionStats.from_state_dict(m) for m in state["completed"]
+        ]
+        self.total_read_time = float(state["total_read_time"])
+        self.total_write_time = float(state["total_write_time"])
+        self.total_lookups = int(state["total_lookups"])
+        self.total_updates = int(state["total_updates"])
+        self.total_ranges = int(state["total_ranges"])
+        self.level_read_time = {
+            int(k): float(v) for k, v in state["level_read_time"].items()
+        }
+        self.level_write_time = {
+            int(k): float(v) for k, v in state["level_write_time"].items()
+        }

@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.bloom.allocation import allocate_fprs
 from repro.config import SystemConfig, TransitionKind
-from repro.errors import KeyNotFoundError, PolicyError, TreeStateError
+from repro.errors import (
+    KeyNotFoundError,
+    PolicyError,
+    SnapshotError,
+    TreeStateError,
+)
 from repro.lsm.entry import TOMBSTONE, merge_sorted_sources, validate_value
 from repro.lsm.level import Level
 from repro.lsm.memtable import MemTable
@@ -355,17 +360,9 @@ class LSMTree:
         keys = np.asarray(keys, dtype=np.int64)
         n = len(keys)
         self.stats.count_lookup(n)
-        values = np.zeros(n, dtype=np.int64)
-        resolved = np.zeros(n, dtype=bool)
-        found = np.zeros(n, dtype=bool)
-
-        for i in range(n):
-            buffered = self.memtable.get(int(keys[i]))
-            if buffered is not None:
-                resolved[i] = True
-                if buffered != TOMBSTONE:
-                    found[i] = True
-                    values[i] = buffered
+        resolved, buffered_values = self.memtable.get_batch(keys)
+        found = resolved & (buffered_values != TOMBSTONE)
+        values = np.where(found, buffered_values, 0)
 
         pending = np.flatnonzero(~resolved)
         for level in self.levels:
@@ -479,13 +476,44 @@ class LSMTree:
         """Total simulated seconds consumed so far."""
         return self.clock.now
 
+    @property
+    def cache_hits(self) -> int:
+        """Cumulative block-cache hits."""
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Cumulative block-cache misses."""
+        return self.cache.misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cumulative block-cache hit fraction (0.0 with no traffic)."""
+        return self.cache.hit_rate
+
+    def _cache_counters(self) -> Tuple[int, int]:
+        """Cache counters for mission windows.
+
+        A capacity-0 cache still tallies its (always-miss) probes
+        internally, but mission records treat that as "no cache
+        configured" — zero traffic — so reports can distinguish a
+        cache-less run from a cache that never hits.
+        """
+        if self.cache.capacity == 0:
+            return 0, 0
+        return self.cache.hits, self.cache.misses
+
     def begin_mission(self) -> None:
         """Open a stats window covering the next batch of operations."""
-        self.stats.begin_mission(self.disk.counters, self.clock.now)
+        hits, misses = self._cache_counters()
+        self.stats.begin_mission(self.disk.counters, self.clock.now, hits, misses)
 
     def end_mission(self) -> "MissionStats":
         """Close the current stats window and return its statistics."""
-        return self.stats.end_mission(self.disk.counters, self.clock.now)
+        hits, misses = self._cache_counters()
+        return self.stats.end_mission(
+            self.disk.counters, self.clock.now, hits, misses
+        )
 
     def tuning_targets(self) -> "List[LSMTree]":
         """The tree itself is the only tuning target."""
@@ -617,3 +645,60 @@ class LSMTree:
     def read_amplification_snapshot(self) -> Dict[int, int]:
         """Number of runs per level (a proxy for worst-case read amp)."""
         return {level.level_no: level.n_runs for level in self.levels}
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist and DESIGN.md §6)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full serializable snapshot of the tree.
+
+        Captures everything needed for a bit-exact restore: structure
+        (levels, runs, memtable), accounting (clock, stats, I/O counters,
+        block-cache contents) and determinism state (the Bloom RNG).
+        Snapshots are only valid between missions.
+        """
+        if self.stats.in_mission:
+            raise SnapshotError(
+                "cannot snapshot an engine mid-mission; close the window first"
+            )
+        return {
+            "clock": self.clock.state_dict(),
+            "io": self.disk.counters.state_dict(),
+            "cache": self.cache.state_dict(),
+            "stats": self.stats.state_dict(),
+            "memtable": self.memtable.state_dict(),
+            "levels": [level.state_dict() for level in self.levels],
+            "rng": self._rng.bit_generator.state,
+            "next_run_id": self._next_run_id,
+            "bits_per_key": self.bits_per_key,
+            "fpr_depth": self._fpr_depth,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the tree in place from :meth:`state_dict` output.
+
+        The tree must have been constructed with the same
+        :class:`SystemConfig` the snapshot was taken under; shared
+        sub-objects (clock, collector, cache, counters) are mutated rather
+        than replaced so external references stay valid.
+        """
+        self.clock.load_state_dict(state["clock"])
+        self.disk.counters.load_state_dict(state["io"])
+        self.cache.load_state_dict(state["cache"])
+        self.stats.load_state_dict(state["stats"])
+        self.memtable.load_state_dict(state["memtable"])
+        self._rng.bit_generator.state = state["rng"]
+
+        def build_run(run_state: Dict[str, object]) -> SortedRun:
+            return SortedRun.from_state_dict(
+                run_state, self.config.bloom_mode, self._rng
+            )
+
+        self.levels = [
+            Level.from_state_dict(level_state, build_run)
+            for level_state in state["levels"]
+        ]
+        self._next_run_id = int(state["next_run_id"])
+        self.bits_per_key = float(state["bits_per_key"])
+        self._fpr_depth = int(state["fpr_depth"])
+        self.check_invariants()

@@ -1,0 +1,359 @@
+"""Versioned snapshot files for engines, tuners and whole stores.
+
+The paper's deployment story depends on state that outlives a process: Lerp
+is "pre-trained offline and redeployed" across workloads, and long benchmark
+runs must be resumable. This module is the on-disk half of that story; the
+in-memory half is the ``state_dict()`` / ``load_state_dict()`` hooks that
+every stateful component implements (see DESIGN.md §6).
+
+A snapshot file is a single pickled payload::
+
+    {
+        "magic": "repro-snapshot",
+        "format_version": 1,
+        "kind": "engine" | "store" | "tuner",
+        "repro_version": "...",          # library that wrote the file
+        "meta": {...},                   # caller-supplied annotations
+        "state": {...},                  # the actual state dictionary
+    }
+
+``state`` contains only primitives, numpy arrays and nested containers of
+them — never live objects — so the format survives refactors of the classes
+it describes. ``load_snapshot`` validates magic, version and kind before
+anything is interpreted; mismatches raise :class:`SnapshotError` instead of
+failing deep inside a restore.
+
+Restore invariants (asserted by ``tests/test_persist.py``):
+
+* **Bit-exactness** — an engine/store restored from a snapshot and driven
+  with the remaining operation stream produces *identical* mission stats,
+  simulated clock, I/O counters and tree structure as a process that never
+  snapshotted. (The one exception is ``MissionStats.model_update_time``,
+  which measures host wall-clock by design.)
+* **Same blueprint** — a snapshot restores only into an object built with
+  the same configuration (sizes, shard count, agent architecture); loaders
+  verify the cheap invariants (capacities, shard counts, parameter shapes)
+  and raise rather than silently reinterpreting state.
+* **Between missions** — snapshots are taken with no mission window open.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from typing import Callable, Dict, List, Optional
+
+from repro import __version__
+from repro.config import (
+    BloomMode,
+    BloomScheme,
+    CostModelParams,
+    SystemConfig,
+    TransitionKind,
+)
+from repro.core.lerp import Lerp, LerpConfig
+from repro.core.ruskey import RusKey
+from repro.core.tuners import Tuner
+from repro.engine.sharded import ShardedStore
+from repro.errors import SnapshotError
+from repro.lsm.flsm import FLSMTree
+from repro.lsm.tree import LSMTree
+from repro.rl.ddpg import DDPGConfig
+from repro.rl.dqn import DQNConfig
+
+MAGIC = "repro-snapshot"
+FORMAT_VERSION = 1
+
+#: Engine classes the loader can rebuild from a blueprint, by tag. Order
+#: matters when classifying: subclasses before their bases.
+_ENGINE_TAGS = (
+    ("sharded", ShardedStore),
+    ("flsm", FLSMTree),
+    ("lsm", LSMTree),
+)
+
+
+# ----------------------------------------------------------------------
+# Config (de)serialization
+# ----------------------------------------------------------------------
+def config_to_state(config: SystemConfig) -> Dict[str, object]:
+    """``SystemConfig`` as a plain dict (enums by value)."""
+    state = dataclasses.asdict(config)
+    state["bloom_scheme"] = config.bloom_scheme.value
+    state["bloom_mode"] = config.bloom_mode.value
+    return state
+
+
+def config_from_state(state: Dict[str, object]) -> SystemConfig:
+    """Rebuild a ``SystemConfig`` from :func:`config_to_state` output."""
+    fields = dict(state)
+    fields["bloom_scheme"] = BloomScheme(fields["bloom_scheme"])
+    fields["bloom_mode"] = BloomMode(fields["bloom_mode"])
+    fields["costs"] = CostModelParams(**fields["costs"])
+    return SystemConfig(**fields)
+
+
+def lerp_config_to_state(config: LerpConfig) -> Dict[str, object]:
+    """``LerpConfig`` (with its nested agent configs) as a plain dict."""
+    state = dataclasses.asdict(config)
+    state["transition"] = config.transition.value
+    state["ddpg"]["hidden"] = list(config.ddpg.hidden)
+    state["dqn"]["hidden"] = list(config.dqn.hidden)
+    return state
+
+
+def lerp_config_from_state(state: Dict[str, object]) -> LerpConfig:
+    """Rebuild a ``LerpConfig`` from :func:`lerp_config_to_state` output."""
+    fields = dict(state)
+    fields["transition"] = TransitionKind(fields["transition"])
+    ddpg = dict(fields["ddpg"])
+    ddpg["hidden"] = tuple(ddpg["hidden"])
+    fields["ddpg"] = DDPGConfig(**ddpg)
+    dqn = dict(fields["dqn"])
+    dqn["hidden"] = tuple(dqn["hidden"])
+    fields["dqn"] = DQNConfig(**dqn)
+    return LerpConfig(**fields)
+
+
+# ----------------------------------------------------------------------
+# File format
+# ----------------------------------------------------------------------
+def save_snapshot(
+    path: str,
+    kind: str,
+    state: Dict[str, object],
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write ``state`` to ``path`` as a versioned snapshot (atomically:
+    the file is complete or absent, never half-written)."""
+    payload = {
+        "magic": MAGIC,
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "repro_version": __version__,
+        "meta": dict(meta) if meta else {},
+        "state": state,
+    }
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=4)
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot to {path}: {exc}") from exc
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise SnapshotError(
+            f"snapshot state for {path} is not serializable (state dicts "
+            f"must hold only primitives and numpy arrays): {exc}"
+        ) from exc
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+def load_snapshot(
+    path: str, expected_kind: Optional[str] = None
+) -> Dict[str, object]:
+    """Read and validate a snapshot; returns the full payload dict."""
+    try:
+        with open(os.fspath(path), "rb") as fh:
+            payload = pickle.load(fh)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise SnapshotError(f"{path} is not a repro snapshot: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
+        raise SnapshotError(f"{path} is not a repro snapshot")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path} has snapshot format version {version}; this library "
+            f"reads version {FORMAT_VERSION}"
+        )
+    if expected_kind is not None and payload.get("kind") != expected_kind:
+        raise SnapshotError(
+            f"{path} holds a {payload.get('kind')!r} snapshot, "
+            f"expected {expected_kind!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+def _classify_engine(engine: object) -> str:
+    for tag, cls in _ENGINE_TAGS:
+        if isinstance(engine, cls):
+            return tag
+    raise SnapshotError(
+        f"cannot snapshot engine of type {type(engine).__name__}; known "
+        f"kinds are {[tag for tag, _ in _ENGINE_TAGS]}"
+    )
+
+
+def _build_engine(tag: str, config: SystemConfig, n_shards: int):
+    if tag == "sharded":
+        return ShardedStore(config, n_shards)
+    if tag == "flsm":
+        return FLSMTree(config)
+    if tag == "lsm":
+        return LSMTree(config)
+    raise SnapshotError(f"unknown engine kind in snapshot: {tag!r}")
+
+
+def save_engine(
+    engine, path: str, meta: Optional[Dict[str, object]] = None
+) -> None:
+    """Snapshot a bare engine (tree or sharded store) with its config, so
+    :func:`load_engine` can rebuild it without any caller-supplied context."""
+    tag = _classify_engine(engine)
+    state = {
+        "engine_kind": tag,
+        "config": config_to_state(engine.config),
+        "n_shards": getattr(engine, "n_shards", 1),
+        "engine": engine.state_dict(),
+    }
+    save_snapshot(path, "engine", state, meta)
+
+
+def load_engine(path: str):
+    """Rebuild and restore an engine from a :func:`save_engine` snapshot."""
+    payload = load_snapshot(path, expected_kind="engine")
+    state = payload["state"]
+    config = config_from_state(state["config"])
+    engine = _build_engine(
+        state["engine_kind"], config, int(state["n_shards"])
+    )
+    engine.load_state_dict(state["engine"])
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Tuners
+# ----------------------------------------------------------------------
+def _tuner_blueprint(tuner: Tuner) -> Dict[str, object]:
+    """How to rebuild ``tuner`` in a fresh process.
+
+    Lerp tuners are rebuilt from their (plain-data) config; the simple
+    baselines hold only construction-time configuration and pickle cleanly.
+    Anything else must be supplied by the caller at load time.
+    """
+    if isinstance(tuner, Lerp):
+        return {"kind": "lerp", "config": lerp_config_to_state(tuner.config)}
+    try:
+        return {"kind": "pickled", "data": pickle.dumps(tuner, protocol=4)}
+    except Exception as exc:
+        raise SnapshotError(
+            f"tuner {type(tuner).__name__} cannot be serialized; make it "
+            "picklable (or snapshot its state_dict() separately)"
+        ) from exc
+
+
+def _tuner_from_blueprint(
+    blueprint: Dict[str, object], system_config: SystemConfig
+) -> Tuner:
+    if blueprint["kind"] == "lerp":
+        return Lerp(system_config, lerp_config_from_state(blueprint["config"]))
+    return pickle.loads(blueprint["data"])
+
+
+def save_tuner(
+    tuner: Tuner,
+    system_config: SystemConfig,
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Snapshot one tuner (e.g. a trained Lerp for later redeployment)."""
+    state = {
+        "blueprint": _tuner_blueprint(tuner),
+        "system_config": config_to_state(system_config),
+        "tuner": tuner.state_dict(),
+    }
+    save_snapshot(path, "tuner", state, meta)
+
+
+def load_tuner(path: str) -> Tuner:
+    """Rebuild and restore a tuner from a :func:`save_tuner` snapshot."""
+    payload = load_snapshot(path, expected_kind="tuner")
+    state = payload["state"]
+    tuner = _tuner_from_blueprint(
+        state["blueprint"], config_from_state(state["system_config"])
+    )
+    tuner.load_state_dict(state["tuner"])
+    return tuner
+
+
+# ----------------------------------------------------------------------
+# Whole stores
+# ----------------------------------------------------------------------
+def save_store(
+    store: RusKey, path: str, meta: Optional[Dict[str, object]] = None
+) -> None:
+    """Snapshot a whole :class:`RusKey` store: engine, tuner(s), controller
+    logs, and the blueprint needed to rebuild everything in a fresh
+    process."""
+    store_state = store.state_dict()
+    unique_tuners = (
+        store.tuners[:1] if store_state["tuners_shared"] else store.tuners
+    )
+    state = {
+        "engine_kind": _classify_engine(store.engine),
+        "config": config_to_state(store.config),
+        "n_shards": getattr(store.engine, "n_shards", 1),
+        "chunk_size": store_state["chunk_size"],
+        "tuner_blueprints": [_tuner_blueprint(t) for t in unique_tuners],
+        "store": store_state,
+    }
+    save_snapshot(path, "store", state, meta)
+
+
+def load_store(
+    path: str,
+    tuner_factory: Optional[Callable[[SystemConfig], Tuner]] = None,
+) -> RusKey:
+    """Rebuild and restore a :class:`RusKey` from a :func:`save_store`
+    snapshot. ``tuner_factory`` overrides the snapshot's tuner blueprints
+    (e.g. to rebuild a custom tuner subclass yourself); the snapshot's
+    saved tuner state is loaded into the rebuilt tuners either way, and a
+    shared-tuner snapshot is rebuilt as one shared instance."""
+    payload = load_snapshot(path, expected_kind="store")
+    return store_from_snapshot(payload, tuner_factory=tuner_factory)
+
+
+def store_from_snapshot(
+    payload: Dict[str, object],
+    tuner_factory: Optional[Callable[[SystemConfig], Tuner]] = None,
+) -> RusKey:
+    """Like :func:`load_store`, from an already-loaded snapshot payload
+    (lets callers that inspect ``payload['meta']`` first avoid
+    deserializing the file twice)."""
+    state = payload["state"]
+    config = config_from_state(state["config"])
+    n_shards = int(state["n_shards"])
+    engine = _build_engine(state["engine_kind"], config, n_shards)
+    n_targets = len(engine.tuning_targets())
+    blueprints = state["tuner_blueprints"]
+    shared = bool(state["store"]["tuners_shared"])
+    if tuner_factory is not None:
+        # Preserve the snapshot's topology: a shared tuner stays one
+        # instance, so its (single) saved state restores into every slot.
+        if shared:
+            shared_tuner = tuner_factory(config)
+            tuners: List[Tuner] = [shared_tuner] * n_targets
+        else:
+            tuners = [tuner_factory(config) for _ in range(n_targets)]
+    elif shared and n_targets > 1:
+        shared_tuner = _tuner_from_blueprint(blueprints[0], config)
+        tuners = [shared_tuner] * n_targets
+    else:
+        tuners = [_tuner_from_blueprint(b, config) for b in blueprints]
+    store = RusKey(
+        config,
+        engine=engine,
+        tuners=tuners,
+        chunk_size=int(state["chunk_size"]),
+    )
+    store.load_state_dict(state["store"])
+    return store

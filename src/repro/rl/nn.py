@@ -182,3 +182,27 @@ class MLP:
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.params())
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> List[np.ndarray]:
+        """Copies of every parameter array, in :meth:`params` order."""
+        return [p.copy() for p in self.params()]
+
+    def load_state_dict(self, state: Sequence[np.ndarray]) -> None:
+        """Restore parameters *in place* (optimizers hold references to the
+        live arrays, so they must not be replaced). Gradients are zeroed."""
+        params = self.params()
+        if len(state) != len(params):
+            raise RLError(
+                f"parameter count mismatch: snapshot has {len(state)}, "
+                f"network has {len(params)}"
+            )
+        for mine, theirs in zip(params, state):
+            if mine.shape != theirs.shape:
+                raise RLError(
+                    f"parameter shape mismatch: {mine.shape} vs {theirs.shape}"
+                )
+            mine[...] = theirs
+        self.zero_grad()

@@ -49,6 +49,17 @@ class OrnsteinUhlenbeckNoise:
         """Decay (or boost) the noise magnitude, clipped to stay >= 0."""
         self.sigma = max(0.0, self.sigma * factor)
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The mutable pieces: current sigma and the process position."""
+        return {"sigma": self.sigma, "state": self._state.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.sigma = float(state["sigma"])
+        self._state[...] = state["state"]
+
 
 class GaussianNoise:
     """Uncorrelated Gaussian exploration noise."""
@@ -72,3 +83,9 @@ class GaussianNoise:
 
     def scale_sigma(self, factor: float) -> None:
         self.sigma = max(0.0, self.sigma * factor)
+
+    def state_dict(self) -> dict:
+        return {"sigma": self.sigma}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.sigma = float(state["sigma"])

@@ -25,6 +25,14 @@ class SGD:
         for param, grad in zip(self._params, self._grads):
             param -= self.lr * grad
 
+    # SGD is stateless beyond its hyperparameters; hooks exist for interface
+    # parity with Adam so owners can treat any optimizer uniformly.
+    def state_dict(self) -> dict:
+        return {"kind": "sgd"}
+
+    def load_state_dict(self, state: dict) -> None:
+        return None
+
 
 class Adam:
     """Adam (Kingma & Ba) over a fixed list of parameter arrays."""
@@ -64,3 +72,25 @@ class Adam:
             v *= self.beta2
             v += (1.0 - self.beta2) * grad * grad
             param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the moment estimates and step count."""
+        return {
+            "kind": "adam",
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments in place (they are paired with live parameters)."""
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise RLError("optimizer state does not match parameter layout")
+        self._t = int(state["t"])
+        for mine, theirs in zip(self._m, state["m"]):
+            mine[...] = theirs
+        for mine, theirs in zip(self._v, state["v"]):
+            mine[...] = theirs

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Iterator
 
+from repro.errors import SnapshotError
+
 
 class LRUBlockCache:
     """Fixed-capacity LRU cache keyed by ``(run_id, page_index)`` pairs.
@@ -81,3 +83,33 @@ class LRUBlockCache:
         """Fraction of accesses that hit, or 0.0 before any access."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Snapshot hooks (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot: resident pages in LRU order plus counters."""
+        return {
+            "capacity": self._capacity,
+            "pages": list(self._pages),  # oldest → most recently used
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore cache contents and counters in place.
+
+        The receiving cache must have the capacity the snapshot was taken
+        with — resident pages beyond a smaller capacity would silently
+        change future hit patterns.
+        """
+        if int(state["capacity"]) != self._capacity:
+            raise SnapshotError(
+                f"cache capacity mismatch: snapshot has {state['capacity']}, "
+                f"this cache holds {self._capacity}"
+            )
+        self._pages.clear()
+        for key in state["pages"]:
+            self._pages[key] = None
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])

@@ -390,6 +390,66 @@ class TestMissionRunner:
         stats = runner.run(mission)
         assert stats.n_ranges > 0
 
+    def _run_workload(self, config, chunk_size, make_workload, n_missions=3, n_ops=500):
+        tree = LSMTree(config)
+        runner = MissionRunner(tree, chunk_size=chunk_size)
+        keys, values = make_workload().load_records()
+        tree.bulk_load(keys, values)
+        missions = list(make_workload().missions(n_missions, n_ops))
+        stats = [runner.run(mission) for mission in missions]
+        return tree, stats
+
+    def _assert_chunking_invariant(self, config, make_workload, rel=0.05):
+        tree_serial, stats_serial = self._run_workload(config, 1, make_workload)
+        tree_chunked, stats_chunked = self._run_workload(config, 128, make_workload)
+        total_serial = sum(s.total_time for s in stats_serial)
+        total_chunked = sum(s.total_time for s in stats_chunked)
+        assert total_chunked == pytest.approx(total_serial, rel=rel)
+        # Write path: identical update order inside chunks means identical
+        # flush boundaries and compaction traffic, bit for bit.
+        assert (
+            tree_serial.disk.counters.seq_writes
+            == tree_chunked.disk.counters.seq_writes
+        )
+        assert [s.n_operations for s in stats_serial] == [
+            s.n_operations for s in stats_chunked
+        ]
+
+    def test_chunked_matches_serial_range_heavy(self, tiny_config):
+        """Range scans always execute individually; only the update batches
+        around them are chunked, so the costs must track the serial path."""
+        from repro.workload.ycsb import YCSBWorkload
+
+        self._assert_chunking_invariant(
+            tiny_config,
+            lambda: YCSBWorkload.paper_range_mix(600, seed=9, range_span=32),
+        )
+
+    def test_chunked_matches_serial_zipfian(self, tiny_config):
+        """Zipfian point mixes repeat hot keys inside a chunk; deferring a
+        hot lookup past a hot update within one chunk may resolve it from
+        the memtable, so totals agree statistically, not bit-exactly."""
+        from repro.workload.ycsb import YCSBWorkload
+
+        self._assert_chunking_invariant(
+            tiny_config,
+            lambda: YCSBWorkload(
+                n_records=600, lookup_fraction=0.5, seed=9, name="zipf-balanced"
+            ),
+            rel=0.1,
+        )
+
+    def test_chunked_matches_serial_zipfian_read_heavy(self, tiny_config):
+        from repro.workload.ycsb import YCSBWorkload
+
+        self._assert_chunking_invariant(
+            tiny_config,
+            lambda: YCSBWorkload(
+                n_records=600, lookup_fraction=0.9, seed=4, name="zipf-read"
+            ),
+            rel=0.1,
+        )
+
     def test_chunk_size_validation(self, tiny_config):
         with pytest.raises(WorkloadError):
             MissionRunner(LSMTree(tiny_config), chunk_size=0)

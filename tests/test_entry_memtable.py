@@ -183,3 +183,35 @@ class TestMemTable:
             assert table.get(key) == model[key]
         keys, values = table.drain_sorted()
         assert dict(zip(keys.tolist(), values.tolist())) == model
+
+    def test_get_batch_matches_serial_get(self):
+        table = MemTable(64)
+        rng = np.random.default_rng(5)
+        for key in rng.integers(0, 40, size=50):
+            table.put(int(key), int(key) * 7)
+        table.delete(3)
+        probes = rng.integers(-5, 60, size=200)
+        buffered, values = table.get_batch(probes)
+        for i, key in enumerate(probes.tolist()):
+            expected = table.get(key)
+            if expected is None:
+                assert not buffered[i]
+            else:
+                assert buffered[i]
+                assert values[i] == expected
+
+    def test_get_batch_surfaces_tombstones(self):
+        table = MemTable(8)
+        table.put(1, 10)
+        table.delete(2)
+        buffered, values = table.get_batch(np.asarray([1, 2, 3]))
+        assert buffered.tolist() == [True, True, False]
+        assert values[0] == 10
+        assert values[1] == TOMBSTONE
+
+    def test_get_batch_empty_cases(self):
+        table = MemTable(4)
+        buffered, values = table.get_batch(np.zeros(0, dtype=np.int64))
+        assert len(buffered) == 0 and len(values) == 0
+        buffered, values = table.get_batch(np.asarray([1, 2]))
+        assert not buffered.any()

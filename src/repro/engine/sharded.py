@@ -74,7 +74,14 @@ def _merge_level_times(maps: Sequence[Dict[int, float]]) -> Dict[int, float]:
 def merge_mission_stats(
     index: int, parts: Sequence[MissionStats]
 ) -> MissionStats:
-    """Sum per-shard mission windows into one store-level record."""
+    """Sum per-shard mission windows into one store-level record.
+
+    All fields sum except ``wall_duration``: per-shard windows open and
+    close at (nearly) the same host instants — they are *concurrent* in
+    wall time — so the store-level window spans their maximum, and the
+    merged record's ``ops_per_second`` is the store's aggregate wall
+    throughput.
+    """
     return MissionStats(
         index=index,
         n_lookups=sum(p.n_lookups for p in parts),
@@ -89,6 +96,7 @@ def merge_mission_stats(
         model_update_time=sum(p.model_update_time for p in parts),
         cache_hits=sum(p.cache_hits for p in parts),
         cache_misses=sum(p.cache_misses for p in parts),
+        wall_duration=max((p.wall_duration for p in parts), default=0.0),
     )
 
 
@@ -193,6 +201,24 @@ class ShardedStore:
         """The shard that owns ``key``."""
         return self.shards[shard_of_key(key, self.n_shards)]
 
+    def _shard_groups(self, keys: np.ndarray):
+        """Group a key batch per home shard with one stable sort.
+
+        Yields ``(shard_no, idx)`` for each non-empty group, where ``idx``
+        indexes the caller's arrays *in original order* (the stable sort
+        preserves each shard's operation order, so per-shard execution is
+        identical to routing the keys one by one).
+        """
+        shard_ids = shard_of(keys, self.n_shards)
+        order = np.argsort(shard_ids, kind="stable")
+        bounds = np.searchsorted(
+            shard_ids[order], np.arange(self.n_shards + 1)
+        )
+        for s in range(self.n_shards):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if lo != hi:
+                yield s, order[lo:hi]
+
     # ------------------------------------------------------------------
     # Point data path
     # ------------------------------------------------------------------
@@ -209,13 +235,9 @@ class ShardedStore:
     # Batch data path
     # ------------------------------------------------------------------
     def put_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
-        """Sort-and-group the batch per shard, then bulk-insert each group.
-
-        The stable grouping sort preserves each shard's original operation
-        order, so per-shard execution is identical to routing the keys one
-        by one — just with one memtable bulk-insert (and one flush check)
-        per shard per batch instead of per key.
-        """
+        """Group the batch per shard, then bulk-insert each group — one
+        memtable bulk-insert (and one flush check) per shard per batch
+        instead of per key."""
         keys = np.asarray(keys, dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
         if len(keys) != len(values):
@@ -225,19 +247,12 @@ class ShardedStore:
         if self.n_shards == 1:
             self.shards[0].put_batch(keys, values)
             return
-        shard_ids = shard_of(keys, self.n_shards)
-        order = np.argsort(shard_ids, kind="stable")
-        grouped = shard_ids[order]
-        bounds = np.searchsorted(grouped, np.arange(self.n_shards + 1))
-        for s in range(self.n_shards):
-            lo, hi = int(bounds[s]), int(bounds[s + 1])
-            if lo == hi:
-                continue
-            idx = order[lo:hi]
+        for s, idx in self._shard_groups(keys):
             self.shards[s].put_batch(keys[idx], values[idx])
 
     def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized lookups routed per shard; results scatter back in the
+        """Vectorized lookups grouped per shard (one batch call per shard
+        instead of one mask scan per shard); results scatter back in the
         caller's order."""
         keys = np.asarray(keys, dtype=np.int64)
         n = len(keys)
@@ -245,11 +260,9 @@ class ShardedStore:
         values = np.zeros(n, dtype=np.int64)
         if n == 0:
             return found, values
-        shard_ids = shard_of(keys, self.n_shards)
-        for s in range(self.n_shards):
-            idx = np.flatnonzero(shard_ids == s)
-            if len(idx) == 0:
-                continue
+        if self.n_shards == 1:
+            return self.shards[0].get_batch(keys)
+        for s, idx in self._shard_groups(keys):
             shard_found, shard_values = self.shards[s].get_batch(keys[idx])
             found[idx] = shard_found
             values[idx] = shard_values
@@ -288,11 +301,10 @@ class ShardedStore:
             raise TreeStateError("bulk_load requires an empty store")
         keys = np.asarray(keys, dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
-        shard_ids = shard_of(keys, self.n_shards)
-        for s in range(self.n_shards):
-            idx = np.flatnonzero(shard_ids == s)
-            if len(idx) == 0:
-                continue
+        if self.n_shards == 1:
+            self.shards[0].bulk_load(keys, values, distribute=distribute)
+            return
+        for s, idx in self._shard_groups(keys):
             self.shards[s].bulk_load(keys[idx], values[idx], distribute=distribute)
 
     # ------------------------------------------------------------------

@@ -63,3 +63,8 @@ class RLError(ReproError):
 class SnapshotError(ReproError):
     """A snapshot could not be written, read, or restored (unknown format,
     version mismatch, state incompatible with the receiving object)."""
+
+
+class ServeError(ReproError):
+    """The serving layer was used out of order (submitting to a stopped
+    server, starting a running one, malformed requests)."""

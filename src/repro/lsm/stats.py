@@ -15,6 +15,7 @@ harness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -42,10 +43,26 @@ class MissionStats:
     model_update_time: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Host wall-clock seconds the window spanned (measurement, not
+    #: simulation — excluded from snapshots like ``model_update_time``).
+    wall_duration: float = 0.0
 
     @property
     def n_operations(self) -> int:
         return self.n_lookups + self.n_updates + self.n_ranges
+
+    @property
+    def ops_per_second(self) -> float:
+        """Wall-clock throughput of the window: operations per host
+        second (0.0 when the window spanned no measurable wall time).
+        This is the shared metrics vocabulary between the offline harness
+        and the serving layer — both report per-window ops/s from here."""
+        return self.n_operations / self.wall_duration if self.wall_duration else 0.0
+
+    @property
+    def sim_ops_per_second(self) -> float:
+        """Simulated throughput: operations per simulated second."""
+        return self.n_operations / self.sim_duration if self.sim_duration else 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -81,7 +98,13 @@ class MissionStats:
     # Snapshot hooks (see repro.persist)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
-        """Serializable snapshot of one mission record."""
+        """Serializable snapshot of one mission record.
+
+        ``wall_duration`` is deliberately *not* serialized: like
+        ``model_update_time`` it measures host wall-clock, which cannot be
+        bit-exact across a save/restore boundary — restored records report
+        0.0 (see the bit-exact-resume invariant, DESIGN.md §6).
+        """
         return {
             "index": self.index,
             "n_lookups": self.n_lookups,
@@ -141,6 +164,7 @@ class StatsCollector:
         self._io_snapshot: Optional[IOCounters] = None
         self._clock_snapshot: float = 0.0
         self._cache_snapshot: "tuple[int, int]" = (0, 0)
+        self._wall_snapshot: float = 0.0
 
     # ------------------------------------------------------------------
     # Mission windows
@@ -167,6 +191,7 @@ class StatsCollector:
         self._io_snapshot = io.snapshot()
         self._clock_snapshot = clock_now
         self._cache_snapshot = (int(cache_hits), int(cache_misses))
+        self._wall_snapshot = time.perf_counter()
 
     def end_mission(
         self,
@@ -184,6 +209,7 @@ class StatsCollector:
         mission.sim_duration = clock_now - self._clock_snapshot
         mission.cache_hits = int(cache_hits) - self._cache_snapshot[0]
         mission.cache_misses = int(cache_misses) - self._cache_snapshot[1]
+        mission.wall_duration = time.perf_counter() - self._wall_snapshot
         self.completed.append(mission)
         self._mission_index += 1
         self._current = None
@@ -295,6 +321,7 @@ class StatsCollector:
         self._io_snapshot = None
         self._clock_snapshot = 0.0
         self._cache_snapshot = (0, 0)
+        self._wall_snapshot = 0.0
         self.completed = [
             MissionStats.from_state_dict(m) for m in state["completed"]
         ]

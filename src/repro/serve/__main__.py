@@ -1,0 +1,184 @@
+"""``python -m repro.serve`` — put live load on a store from the shell.
+
+Examples::
+
+    # one quick configuration: 4 Lerp-tuned shards, open loop at 30k req/s
+    python -m repro.serve --shards 4 --tuned --rate 30000 --ops 50000
+
+    # closed loop (4 synchronous clients), static K=5 baseline
+    python -m repro.serve --shards 2 --closed-loop --clients 4 --ops 20000
+
+    # the full benchmark grid (static vs Lerp × 1 vs 4 shards)
+    python -m repro.serve --compare
+
+Scales follow ``REPRO_BENCH_SCALE`` (quick / default / full) like the
+offline benchmarks; all latencies printed are wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.experiments import bench_scale
+from repro.serve.experiments import (
+    _default_workload,
+    build_server,
+    format_serving_report,
+    run_serving_comparison,
+    serving_scale,
+)
+from repro.serve.loadgen import TenantSpec, run_load
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="Serve live request traffic over a (sharded) FLSM "
+        "store with optional online Lerp tuning.",
+    )
+    parser.add_argument("--shards", type=int, default=1, help="shard count")
+    parser.add_argument(
+        "--tuned",
+        action="store_true",
+        help="tune the live store with Lerp at window boundaries "
+        "(default: static K)",
+    )
+    parser.add_argument(
+        "--static-policy",
+        type=int,
+        default=5,
+        metavar="K",
+        help="compaction policy of the static baseline (default 5)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None, help="offered requests (default: scale tier)"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop offered rate, requests/s (default: scale tier)",
+    )
+    parser.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="closed-loop clients instead of open-loop Poisson arrivals",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=1, help="client threads (default 1)"
+    )
+    parser.add_argument(
+        "--window-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="close a mission window every N completed requests",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="snapshot the live engine to PATH after the run (pre-stop)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run the full static-vs-Lerp × 1-vs-4-shard grid and print "
+        "the benchmark report",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+
+    scale = bench_scale()
+    serving = serving_scale(scale)
+    if args.ops is not None:
+        serving.n_ops = args.ops
+    if args.rate is not None:
+        serving.rate = args.rate
+    if args.window_ops is not None:
+        serving.window_ops = args.window_ops
+
+    if args.compare:
+        runs = run_serving_comparison(
+            scale=scale, serving=serving, seed=args.seed, rate=args.rate
+        )
+        offer = (
+            f"{serving.duration:.1f}s offer window"
+            if serving.duration
+            else f"{serving.n_ops} offered ops"
+        )
+        print(
+            format_serving_report(
+                runs,
+                title=f"== serving comparison (scale={scale.name}, {offer}) ==",
+            )
+        )
+        return 0
+
+    workload = _default_workload(
+        scale, args.seed, serving.n_ops, serving.mission_size
+    )
+    server = build_server(
+        args.shards,
+        args.tuned,
+        workload=workload,
+        serving=serving,
+        scale=scale,
+        seed=args.seed,
+        static_policy=args.static_policy,
+    )
+    tenant = TenantSpec(
+        name="cli",
+        workload=workload,
+        n_ops=serving.n_ops,
+        rate=serving.rate,
+        n_clients=args.clients,
+        closed_loop=args.closed_loop,
+        mission_size=serving.mission_size,
+        seed=args.seed,
+    )
+    server.start()
+    try:
+        report = run_load(server, [tenant])
+        if args.checkpoint:
+            server.checkpoint(args.checkpoint)
+            print(f"checkpointed live engine to {args.checkpoint}", file=sys.stderr)
+    finally:
+        server.stop()
+
+    mode = "closed-loop" if args.closed_loop else f"open-loop @ {serving.rate:,.0f}/s"
+    tuner = "Lerp-tuned" if args.tuned else f"static K={args.static_policy}"
+    print(f"== repro.serve: {args.shards} shard(s), {tuner}, {mode} ==")
+    print(
+        f"offered {report.offered} accepted {report.accepted} "
+        f"completed {report.completed} dropped {report.dropped} "
+        f"({report.drop_fraction * 100:.2f}%)"
+    )
+    print(
+        f"throughput {report.throughput:,.0f} req/s over "
+        f"{report.wall_seconds:.2f}s wall; mean queue depth "
+        f"{report.mean_queue_depth:.1f} (max {report.max_queue_depth})"
+    )
+    print(f"latency: {report.histogram.summary()}")
+    print(
+        f"windows closed: {len(server.windows)}; simulated seconds "
+        f"charged by the engine: {server.engine.clock_now:.3f}"
+    )
+    if server.windows:
+        last = server.windows[-1]
+        print(
+            f"last window: {last.stats.n_operations} ops, "
+            f"{last.stats.ops_per_second:,.0f} ops/s wall, "
+            f"policies {last.policies}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,366 @@
+"""Canonical serving experiments: live traffic + live tuning.
+
+This is the serving-layer counterpart of :mod:`repro.bench.experiments`:
+one function builds a loaded :class:`KVServer` for a (shards × tuner)
+configuration, one runs the open-loop tail-latency comparison the
+``serving_tail_latency`` benchmark and the ``python -m repro.serve`` CLI
+share, and one formats the paper-style text report.
+
+The headline comparison puts the same offered load (an open-loop Poisson
+stream replaying the paper's five-session dynamic schedule) on four
+configurations: {1, 4} shards × {static K, Lerp-tuned}. Shards serve from
+per-lane worker threads with bounded queues; the tuning loop closes a
+mission window every ``window_ops`` completed requests, so Lerp adapts the
+store *while traffic flows*. Reported per configuration: completed
+throughput, drop fraction, queue depth, and wall-clock p50/p99/p99.9.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.experiments import (
+    BenchScale,
+    base_config,
+    bench_lerp_config,
+    bench_scale,
+)
+from repro.config import SystemConfig
+from repro.core.lerp import Lerp
+from repro.core.tuners import StaticTuner, Tuner
+from repro.engine.sharded import ShardedStore
+from repro.serve.loadgen import LoadReport, TenantSpec, run_load
+from repro.serve.server import KVServer
+from repro.workload.dynamic import paper_dynamic_workload
+from repro.workload.spec import WorkloadSpec
+
+
+#: Upper bound on prematerialized request streams (the fastest observed
+#: Python producer paces ~300k req/s; 600k covers a 1.5-2s offer window
+#: with headroom while keeping setup under ~2s / ~100 MB).
+_STREAM_CAP_MAX = 600_000
+
+
+@dataclass
+class ServingScale:
+    """Run-shape parameters of one serving-experiment tier.
+
+    With ``duration > 0`` the open-loop clients offer for that many wall
+    seconds (``n_ops`` then caps the stream length and sizes the dynamic
+    schedule); with ``duration == 0`` they offer exactly ``n_ops``
+    requests. The benchmark comparison uses duration-bounded offering so
+    every configuration faces the *same arrival process over the same
+    wall window* — a server that sheds load cannot shorten its own run.
+    """
+
+    n_ops: int  # offered requests (duration == 0) or stream cap
+    rate: float  # open-loop offered rate (requests / wall second)
+    window_ops: int  # mission-window length (completed requests)
+    queue_capacity: int  # per-lane admission queue bound
+    max_batch: int  # per-lane drain batch
+    mission_size: int  # generator mission granularity
+    duration: float = 0.0  # offer window (wall seconds; 0 = count-bound)
+
+
+def serving_scale(scale: Optional[BenchScale] = None) -> ServingScale:
+    """Serving run shapes per ``REPRO_BENCH_SCALE`` tier."""
+    scale = scale or bench_scale()
+    if scale.name == "quick":
+        return ServingScale(
+            n_ops=60_000,
+            rate=40_000.0,
+            window_ops=6_000,
+            queue_capacity=512,
+            max_batch=256,
+            mission_size=1_000,
+            duration=0.8,
+        )
+    if scale.name == "full":
+        return ServingScale(
+            n_ops=600_000,
+            rate=60_000.0,
+            window_ops=25_000,
+            queue_capacity=1_024,
+            max_batch=512,
+            mission_size=2_000,
+            duration=4.0,
+        )
+    return ServingScale(
+        n_ops=150_000,
+        rate=50_000.0,
+        window_ops=12_000,
+        queue_capacity=768,
+        max_batch=384,
+        mission_size=1_200,
+        duration=1.5,
+    )
+
+
+def build_server(
+    n_shards: int,
+    tuned: bool,
+    config: Optional[SystemConfig] = None,
+    workload: Optional[WorkloadSpec] = None,
+    serving: Optional[ServingScale] = None,
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+    static_policy: int = 5,
+    split_buffer: bool = True,
+) -> KVServer:
+    """A loaded, not-yet-started server for one configuration.
+
+    ``split_buffer`` divides the write buffer by ``n_shards`` so every
+    configuration runs under the same *total* memory budget — the fair
+    control for shard-count comparisons (per-shard flushes become smaller
+    and stall their lane for less wall time).
+    """
+    scale = scale or bench_scale()
+    serving = serving or serving_scale(scale)
+    if config is None:
+        config = base_config(scale=scale, seed=seed)
+    # Static baselines serve from their steady-state structure; RusKey
+    # starts at leveling (K=1) as in the paper's experiments.
+    config = config.with_updates(initial_policy=1 if tuned else static_policy)
+    if split_buffer and n_shards > 1:
+        config = config.with_updates(
+            write_buffer_bytes=max(
+                config.entry_bytes * 8, config.write_buffer_bytes // n_shards
+            )
+        )
+    if workload is None:
+        workload = _default_workload(
+            scale, seed, serving.n_ops, serving.mission_size
+        )
+    engine = ShardedStore(config, n_shards)
+    engine.bulk_load(*workload.load_records(), distribute=True)
+    tuners: Sequence[Tuner]
+    if tuned:
+        # window_ops == 0 disables the background tuning loop but a Lerp
+        # can still be attached; size its schedule for a nominal budget.
+        n_windows = (
+            max(1, serving.n_ops // serving.window_ops)
+            if serving.window_ops > 0
+            else 40
+        )
+        lerp_config = bench_lerp_config(max(40, n_windows), seed=seed)
+        tuners = [
+            Lerp(config, lerp_config if i == 0 else
+                 _reseed_lerp(lerp_config, seed + i))
+            for i in range(n_shards)
+        ]
+    else:
+        tuners = [StaticTuner(static_policy)] * n_shards
+    return KVServer(
+        engine,
+        tuners=list(tuners),
+        queue_capacity=serving.queue_capacity,
+        max_batch=serving.max_batch,
+        window_ops=serving.window_ops,
+    )
+
+
+def _reseed_lerp(lerp_config, seed: int):
+    import dataclasses
+
+    return dataclasses.replace(lerp_config, seed=seed)
+
+
+def _default_workload(
+    scale: BenchScale, seed: int, total_ops: int, mission_size: int
+) -> WorkloadSpec:
+    """The five-session dynamic schedule, phase lengths in *missions* sized
+    so a request stream of ``total_ops`` sweeps every session."""
+    missions_per_session = max(1, total_ops // (5 * mission_size))
+    return paper_dynamic_workload(
+        n_records=scale.n_records,
+        missions_per_session=missions_per_session,
+        seed=seed + 23,
+    )
+
+
+@dataclass
+class ServingRun:
+    """One configuration's serving outcome."""
+
+    name: str
+    n_shards: int
+    tuned: bool
+    report: LoadReport
+    final_policies: List[List[int]]
+    n_windows: int
+    sim_seconds: float
+
+
+def run_serving_config(
+    n_shards: int,
+    tuned: bool,
+    scale: Optional[BenchScale] = None,
+    serving: Optional[ServingScale] = None,
+    seed: int = 0,
+    rate: Optional[float] = None,
+    static_policy: int = 5,
+) -> ServingRun:
+    """Serve the dynamic schedule open-loop against one configuration."""
+    scale = scale or bench_scale()
+    serving = serving or serving_scale(scale)
+    target_rate = rate if rate is not None else serving.rate
+    # With duration-bounded offering the stream must outlast the deadline
+    # even at the producer's burst maximum (the producer never exceeds the
+    # configured rate, so 1.1x the nominal schedule plus slack suffices);
+    # the schedule is sized to the cap so the nominal stream sweeps all
+    # five sessions. Streams are prematerialized — request construction
+    # happens before the offering clock starts — so the cap is also
+    # bounded by _STREAM_CAP_MAX to keep setup time and memory sane (a
+    # Python producer cannot pace past that count in one offer window).
+    if serving.duration > 0:
+        stream_cap = max(
+            serving.n_ops,
+            min(
+                int(1.1 * target_rate * serving.duration) + 20_000,
+                _STREAM_CAP_MAX,
+            ),
+        )
+    else:
+        stream_cap = serving.n_ops
+    workload = _default_workload(
+        scale, seed, stream_cap, serving.mission_size
+    )
+    server = build_server(
+        n_shards,
+        tuned,
+        workload=workload,
+        serving=serving,
+        scale=scale,
+        seed=seed,
+        static_policy=static_policy,
+    )
+    tenant = TenantSpec(
+        name="dynamic",
+        workload=workload,
+        n_ops=stream_cap,
+        rate=target_rate,
+        mission_size=serving.mission_size,
+        seed=seed,
+        duration=serving.duration,
+        prematerialize=serving.duration > 0,
+    )
+    server.start()
+    try:
+        report = run_load(server, [tenant])
+    finally:
+        server.stop()
+    name = f"{'Lerp-tuned' if tuned else f'static K={static_policy}'}, " \
+           f"{n_shards} shard{'s' if n_shards != 1 else ''}"
+    return ServingRun(
+        name=name,
+        n_shards=n_shards,
+        tuned=tuned,
+        report=report,
+        final_policies=[list(t.policies()) for t in server.engine.tuning_targets()],
+        n_windows=len(server.windows),
+        sim_seconds=float(server.engine.clock_now),
+    )
+
+
+def calibrate_lane_capacity(
+    scale: Optional[BenchScale] = None,
+    serving: Optional[ServingScale] = None,
+    seed: int = 0,
+    probe_duration: float = 0.4,
+) -> float:
+    """Measured saturated drain rate of one serving lane on this host
+    (static config, deeply saturating offered rate, short offer window).
+    The benchmark and the CLI both anchor the comparison's offered load
+    to this so the overload regime is reproducible across machines. The
+    probe rate (600k req/s) is far above any observed lane capacity yet
+    small enough that the probe's prematerialized stream stays cheap.
+    Two probes run and the larger reading wins: transient host load can
+    only depress a probe, and an *under*-estimated capacity would put the
+    comparison below saturation where it measures noise (overshooting is
+    safe — producers simply run flat out)."""
+    import dataclasses
+
+    scale = scale or bench_scale()
+    serving = serving or serving_scale(scale)
+    probe = dataclasses.replace(
+        serving, duration=min(probe_duration, serving.duration or probe_duration)
+    )
+    readings = [
+        run_serving_config(
+            1, tuned=False, scale=scale, serving=probe, seed=seed, rate=6e5
+        ).report.throughput
+        for _ in range(2)
+    ]
+    return max(readings)
+
+
+def run_serving_comparison(
+    scale: Optional[BenchScale] = None,
+    serving: Optional[ServingScale] = None,
+    seed: int = 0,
+    shard_counts: Sequence[int] = (1, 4),
+    rate: Optional[float] = None,
+) -> Dict[str, ServingRun]:
+    """The benchmark grid: {shards} × {static, Lerp-tuned}, same offered
+    load everywhere. With no explicit ``rate`` the offered load is set to
+    5x the calibrated single-lane drain capacity — deep saturation for
+    one lane, where the serving architectures differentiate.
+    Configurations run sequentially (each gets the whole machine);
+    results key on the configuration name."""
+    if rate is None:
+        capacity = calibrate_lane_capacity(scale=scale, serving=serving, seed=seed)
+        rate = 5.0 * capacity
+        print(
+            f"[serve] calibrated 1-lane capacity {capacity:,.0f} req/s; "
+            f"offering {rate:,.0f} req/s",
+            file=sys.stderr,
+        )
+    runs: Dict[str, ServingRun] = {}
+    for n_shards in shard_counts:
+        for tuned in (False, True):
+            run = run_serving_config(
+                n_shards,
+                tuned,
+                scale=scale,
+                serving=serving,
+                seed=seed,
+                rate=rate,
+            )
+            runs[run.name] = run
+            print(
+                f"[serve] {run.name}: {run.report.throughput:,.0f} req/s, "
+                f"drops {run.report.drop_fraction * 100:.2f}%",
+                file=sys.stderr,
+            )
+    return runs
+
+
+def format_serving_report(
+    runs: Dict[str, ServingRun], title: str = ""
+) -> str:
+    """Throughput / drops / queue depth / tail latency, one row per
+    configuration (latencies are wall-clock milliseconds)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'configuration':>24} | {'req/s':>9} | {'offered/s':>9} | "
+        f"{'drop %':>7} | {'qdepth':>7} | {'p50 ms':>8} | {'p99 ms':>8} | "
+        f"{'p99.9 ms':>8} | {'windows':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, run in runs.items():
+        hist = run.report.histogram
+        p = hist.percentiles((50.0, 99.0, 99.9))
+        lines.append(
+            f"{name:>24} | {run.report.throughput:9,.0f} | "
+            f"{run.report.offered_rate:9,.0f} | "
+            f"{run.report.drop_fraction * 100:7.2f} | "
+            f"{run.report.mean_queue_depth:7.1f} | "
+            f"{p[50.0] * 1e3:8.3f} | {p[99.0] * 1e3:8.3f} | "
+            f"{p[99.9] * 1e3:8.3f} | {run.n_windows:7d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,395 @@
+"""Open- and closed-loop load generation against a :class:`KVServer`.
+
+The existing workload generators (uniform / Zipfian / YCSB / dynamic)
+already produce deterministic :class:`~repro.workload.spec.Mission` arrays;
+this module replays them as *timed request streams*:
+
+* :class:`OpenLoopClient` — Poisson arrivals at a fixed offered rate.
+  Arrival times do not depend on service times (the open-loop property
+  that exposes queueing collapse); requests that meet a full lane queue
+  are **dropped** and counted, never retried.
+* :class:`ClosedLoopClient` — a fixed number of in-flight requests per
+  client (think one synchronous connection): submit, wait for completion,
+  submit the next. Offered load adapts to service capacity, so closed
+  loops measure service latency, open loops measure *system* latency.
+
+A :class:`TenantSpec` names a workload share; :func:`run_load` drives any
+mix of tenants, each with its own clients, seed and request mix, and
+returns a :class:`LoadReport` with per-tenant and merged tail-latency
+views. All randomness (arrival jitter, per-client streams) draws from
+dedicated ``numpy`` generators seeded per client — the engines' RNGs and
+SimClock are never touched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, WorkloadError
+from repro.serve.latency import LatencyHistogram
+from repro.serve.server import (
+    REQ_GET,
+    REQ_PUT,
+    REQ_RANGE,
+    KVServer,
+    Request,
+)
+from repro.workload.spec import OP_LOOKUP, OP_RANGE, OP_UPDATE, Mission, WorkloadSpec
+
+_KIND_FROM_OP = {OP_LOOKUP: REQ_GET, OP_UPDATE: REQ_PUT, OP_RANGE: REQ_RANGE}
+
+
+def requests_from_mission(
+    mission: Mission, tenant: str = "", wait: bool = False
+) -> Iterator[Request]:
+    """Translate one mission's rows into :class:`Request` objects.
+
+    Columns are converted to plain lists up front — producer threads sit
+    on the serving hot path, so per-row numpy scalar unboxing matters.
+    """
+    kinds = mission.kinds.tolist()
+    keys = mission.keys.tolist()
+    values = mission.values.tolist()
+    spans = mission.spans.tolist()
+    for op, key, value, span in zip(kinds, keys, values, spans):
+        yield Request(
+            _KIND_FROM_OP[op],
+            key,
+            value=value,
+            span=span,
+            tenant=tenant,
+            wait=wait,
+        )
+
+
+def request_stream(
+    workload: WorkloadSpec,
+    n_ops: int,
+    mission_size: int = 1_000,
+    tenant: str = "",
+    wait: bool = False,
+) -> Iterator[Request]:
+    """The first ``n_ops`` requests of ``workload``'s mission stream.
+
+    One ``missions()`` iterator is created for the whole stream (the
+    generators re-seed per call, and dynamic schedules advance through
+    their phases), then flattened into requests.
+    """
+    n_missions = -(-n_ops // mission_size)  # ceil
+    emitted = 0
+    for mission in workload.missions(n_missions, mission_size):
+        for request in requests_from_mission(mission, tenant, wait):
+            if emitted >= n_ops:
+                return
+            emitted += 1
+            yield request
+
+
+@dataclass
+class ClientResult:
+    """What one client thread observed."""
+
+    tenant: str
+    offered: int = 0
+    accepted: int = 0
+    dropped: int = 0
+    wall_seconds: float = 0.0
+
+
+class OpenLoopClient(threading.Thread):
+    """Poisson arrivals at ``rate`` requests per wall second.
+
+    The pacing loop is cumulative (each interarrival is added to a target
+    timeline), so short sleeps that overshoot self-correct and the offered
+    rate stays honest over the run. Rejected submissions are *dropped*
+    (open-loop clients never block or retry — that would make them closed).
+    """
+
+    def __init__(
+        self,
+        server: KVServer,
+        requests: Iterator[Request],
+        rate: float,
+        seed: int = 0,
+        name: str = "open-loop",
+        duration: float = 0.0,
+    ) -> None:
+        if rate <= 0.0:
+            raise ConfigError(f"rate must be > 0, got {rate}")
+        if duration < 0.0:
+            raise ConfigError(f"duration must be >= 0, got {duration}")
+        super().__init__(name=name, daemon=True)
+        self.server = server
+        self.requests = requests
+        self.rate = float(rate)
+        #: Stop offering after this many wall seconds (0 = exhaust the
+        #: stream). Duration-bounded offering makes throughput comparable
+        #: across servers of different capacity: every configuration sees
+        #: the same arrival process over the same wall window, however
+        #: much of it it manages to admit.
+        self.duration = float(duration)
+        self.rng = np.random.default_rng(seed)
+        self.result = ClientResult(tenant=name)
+
+    def run(self) -> None:
+        started = time.perf_counter()
+        target = 0.0
+        result = self.result
+        try_submit = self.server.try_submit
+        perf_counter = time.perf_counter
+        duration = self.duration
+        gaps: List[float] = []
+        gap_cursor = 0
+        for request in self.requests:
+            if gap_cursor >= len(gaps):
+                # Draw interarrival gaps in blocks — a scalar exponential
+                # per request would dominate the producer's budget.
+                gaps = self.rng.exponential(1.0 / self.rate, size=1024).tolist()
+                gap_cursor = 0
+            target += gaps[gap_cursor]
+            gap_cursor += 1
+            now = perf_counter() - started
+            if duration and now >= duration:
+                break
+            if target > now:
+                time.sleep(target - now)
+            result.offered += 1
+            if try_submit(request):
+                result.accepted += 1
+            else:
+                result.dropped += 1
+        result.wall_seconds = time.perf_counter() - started
+
+
+class ClosedLoopClient(threading.Thread):
+    """One synchronous connection: submit, await completion, repeat."""
+
+    def __init__(
+        self,
+        server: KVServer,
+        requests: Iterator[Request],
+        think_seconds: float = 0.0,
+        timeout: float = 30.0,
+        name: str = "closed-loop",
+    ) -> None:
+        super().__init__(name=name, daemon=True)
+        self.server = server
+        self.requests = requests
+        self.think_seconds = float(think_seconds)
+        self.timeout = float(timeout)
+        self.result = ClientResult(tenant=name)
+
+    def run(self) -> None:
+        started = time.perf_counter()
+        result = self.result
+        for request in self.requests:
+            if request.done is None:
+                request.done = threading.Event()
+            result.offered += 1
+            if not self.server.submit(request, timeout=self.timeout):
+                result.dropped += 1
+                continue
+            result.accepted += 1
+            request.done.wait(timeout=self.timeout)
+            if self.think_seconds > 0.0:
+                time.sleep(self.think_seconds)
+        result.wall_seconds = time.perf_counter() - started
+
+
+@dataclass
+class TenantSpec:
+    """One tenant of a multi-client mix.
+
+    ``rate`` is the tenant's total offered rate (split over its clients)
+    for open-loop mode; closed-loop tenants instead keep ``n_clients``
+    requests in flight. Each client gets an independent slice of the
+    tenant's workload stream via a distinct seed offset.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    n_ops: int
+    rate: float = 0.0  # requests/s, open-loop tenants only
+    n_clients: int = 1
+    closed_loop: bool = False
+    mission_size: int = 1_000
+    seed: int = 0
+    #: Open-loop tenants only: stop offering after this many wall seconds
+    #: (0 = offer all ``n_ops``). With a duration, ``n_ops`` caps the
+    #: stream length — size it generously so the deadline ends the run.
+    duration: float = 0.0
+    #: Materialize each client's request objects *before* the offering
+    #: clock starts (classic load-generator practice): the hot loop then
+    #: pays only pacing + submission, so the offered rate reflects the
+    #: server under test, not the generator's own request-construction
+    #: cost. Costs memory proportional to the stream length.
+    prematerialize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_ops < 1:
+            raise WorkloadError(f"n_ops must be >= 1, got {self.n_ops}")
+        if self.n_clients < 1:
+            raise WorkloadError(f"n_clients must be >= 1, got {self.n_clients}")
+        if not self.closed_loop and self.rate <= 0.0:
+            raise WorkloadError(
+                f"open-loop tenant {self.name!r} needs rate > 0, got {self.rate}"
+            )
+        if self.duration < 0.0:
+            raise WorkloadError(
+                f"duration must be >= 0, got {self.duration}"
+            )
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one :func:`run_load` call.
+
+    All counters and histograms cover *this call only* (the server's own
+    metrics are lifetime-cumulative; :func:`run_load` snapshots them at
+    entry and reports deltas). The one exception is ``max_queue_depth``,
+    which is the server-lifetime maximum — a maximum cannot be
+    differenced.
+    """
+
+    wall_seconds: float
+    offered: int
+    accepted: int
+    completed: int
+    dropped: int
+    histogram: LatencyHistogram
+    tenant_histograms: Dict[str, LatencyHistogram]
+    clients: List[ClientResult] = field(default_factory=list)
+    mean_queue_depth: float = 0.0
+    max_queue_depth: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall second."""
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        return self.offered / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+def run_load(
+    server: KVServer,
+    tenants: Sequence[TenantSpec],
+    drain_timeout: float = 30.0,
+) -> LoadReport:
+    """Run every tenant's clients against a **started** server and wait for
+    the traffic to finish; the server is left running (callers stop it).
+
+    Latency histograms are read *after* all clients join and the queues
+    drain, so single-writer recording needs no synchronization.
+    """
+    if not tenants:
+        raise WorkloadError("run_load needs at least one tenant")
+    base_completed = server.total_completed
+    base_histograms = {
+        name: server.histogram(name) for name in server.tenants()
+    }
+    base_depth_samples = sum(l.depth_samples for l in server.lanes)
+    base_depth_sum = sum(l.depth_sum for l in server.lanes)
+    clients: List[threading.Thread] = []
+    for tenant in tenants:
+        # Split n_ops across clients exactly: the first (n_ops % n) clients
+        # take one extra request; clients with no share are not spawned.
+        base, extra = divmod(tenant.n_ops, tenant.n_clients)
+        for c in range(tenant.n_clients):
+            per_client = base + (1 if c < extra else 0)
+            if per_client == 0:
+                continue
+            stream: Iterator[Request] = request_stream(
+                _reseeded(tenant.workload, tenant.seed + 101 * c),
+                per_client,
+                mission_size=tenant.mission_size,
+                tenant=tenant.name,
+                wait=tenant.closed_loop,
+            )
+            if tenant.prematerialize:
+                stream = iter(list(stream))
+            if tenant.closed_loop:
+                clients.append(
+                    ClosedLoopClient(
+                        server, stream, name=tenant.name
+                    )
+                )
+            else:
+                clients.append(
+                    OpenLoopClient(
+                        server,
+                        stream,
+                        rate=tenant.rate / tenant.n_clients,
+                        seed=tenant.seed + 997 * c,
+                        name=tenant.name,
+                        duration=tenant.duration,
+                    )
+                )
+    started = time.perf_counter()
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+    # Let the lanes drain what the clients enqueued.
+    deadline = time.perf_counter() + drain_timeout
+    accepted = sum(c.result.accepted for c in clients)  # type: ignore[attr-defined]
+    while (
+        server.total_completed - base_completed < accepted
+        and time.perf_counter() < deadline
+    ):
+        time.sleep(0.002)
+    wall = time.perf_counter() - started
+    results = [c.result for c in clients]  # type: ignore[attr-defined]
+    # Report this call's delta against the server's cumulative metrics.
+    tenant_histograms: Dict[str, LatencyHistogram] = {}
+    for name in server.tenants():
+        hist = server.histogram(name)
+        base = base_histograms.get(name)
+        if base is not None and base.count > 0:
+            hist = hist.diff(base)
+        if hist.count > 0:
+            tenant_histograms[name] = hist
+    histogram = LatencyHistogram.merged(tenant_histograms.values())
+    depth_samples = (
+        sum(l.depth_samples for l in server.lanes) - base_depth_samples
+    )
+    depth_sum = sum(l.depth_sum for l in server.lanes) - base_depth_sum
+    return LoadReport(
+        wall_seconds=wall,
+        offered=sum(r.offered for r in results),
+        accepted=accepted,
+        completed=server.total_completed - base_completed,
+        dropped=sum(r.dropped for r in results),
+        histogram=histogram,
+        tenant_histograms=tenant_histograms,
+        clients=results,
+        mean_queue_depth=depth_sum / depth_samples if depth_samples else 0.0,
+        max_queue_depth=server.max_queue_depth(),
+    )
+
+
+def _reseeded(workload: WorkloadSpec, seed: int) -> WorkloadSpec:
+    """A copy of ``workload`` with its stream seed offset (same record
+    space), so concurrent clients replay independent operation streams.
+    Workloads without a ``seed`` attribute are shared as-is (their mission
+    iterators are then consumed jointly, which is also well-defined)."""
+    if not hasattr(workload, "seed"):
+        return workload
+    import copy
+
+    clone = copy.copy(workload)
+    try:
+        clone.seed = workload.seed + seed  # type: ignore[attr-defined]
+    except AttributeError:  # frozen dataclasses and friends
+        return workload
+    return clone

@@ -1,0 +1,565 @@
+"""Tests for the concurrent serving subsystem (repro.serve).
+
+Covers: correctness of served results against direct engine access, lane
+routing vs shard hashing, admission control (bounded queues, drops and
+blocking), open/closed-loop clients and tenant mixes, the window-boundary
+tuning loop (live policy changes, model updates while traffic flows),
+live checkpointing, and the SimClock/wall-clock split — serving must not
+perturb the engine's simulated accounting contract.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.lerp import Lerp, LerpConfig
+from repro.core.tuners import StaticTuner
+from repro.engine.sharded import ShardedStore, shard_of_key
+from repro.errors import ConfigError, ServeError
+from repro.lsm.flsm import FLSMTree
+from repro.persist import load_engine
+from repro.serve import (
+    REQ_DELETE,
+    REQ_GET,
+    REQ_PUT,
+    REQ_RANGE,
+    KVServer,
+    Request,
+    TenantSpec,
+    request_stream,
+    run_load,
+)
+from repro.workload.uniform import UniformWorkload
+
+
+def serve_config(seed=7, buffer_kib=32):
+    return SystemConfig(
+        size_ratio=10,
+        entry_bytes=1024,
+        page_bytes=4096,
+        write_buffer_bytes=buffer_kib * 1024,
+        bits_per_key=8.0,
+        seed=seed,
+    )
+
+
+def loaded_store(n_shards=2, n_records=4_000, seed=7):
+    store = ShardedStore(serve_config(seed), n_shards)
+    workload = UniformWorkload(n_records, lookup_fraction=0.5, seed=seed)
+    store.bulk_load(*workload.load_records())
+    return store, workload
+
+
+def await_result(server, request, timeout=10.0):
+    assert server.submit(request, timeout=timeout)
+    assert request.done.wait(timeout=timeout)
+    return request.result
+
+
+class TestRequestRouting:
+    def test_served_results_match_direct_engine(self):
+        """GET/PUT/DELETE/RANGE through the server agree with an identical
+        engine driven directly."""
+        store, workload = loaded_store(n_shards=2)
+        direct, _ = loaded_store(n_shards=2)
+        keys, values = workload.load_records()
+        with KVServer(store, max_batch=32) as server:
+            for key in (0, 17, 103, 3_999):
+                got = await_result(server, Request(REQ_GET, key, wait=True))
+                assert got == direct.get(key)
+            await_result(server, Request(REQ_PUT, 17, value=123456, wait=True))
+            direct.put(17, 123456)
+            assert (
+                await_result(server, Request(REQ_GET, 17, wait=True))
+                == direct.get(17)
+                == 123456
+            )
+            await_result(server, Request(REQ_DELETE, 103, wait=True))
+            direct.delete(103)
+            assert await_result(server, Request(REQ_GET, 103, wait=True)) is None
+            got = await_result(
+                server, Request(REQ_RANGE, 50, span=20, wait=True)
+            )
+            assert got == direct.range_lookup(50, 69)
+
+    def test_delete_then_put_in_one_batch_keeps_put(self):
+        """Puts and deletes preserve their relative submission order
+        within a drained batch: DELETE(k) → PUT(k, v) leaves v live."""
+        store, _ = loaded_store(n_shards=1)
+        server = KVServer(store, max_batch=64)
+        server._running = True  # enqueue without workers: one exact batch
+        lane = server.lanes[0]
+        server.submit(Request(REQ_PUT, 42, value=1))
+        server.submit(Request(REQ_DELETE, 42))
+        server.submit(Request(REQ_PUT, 42, value=2))
+        server.submit(Request(REQ_DELETE, 7))
+        batch = [lane.queue.get_nowait() for _ in range(4)]
+        for r in batch:
+            r.t_submit = time.perf_counter()
+        server._serve_batch(lane, batch)
+        assert store.get(42) == 2
+        assert store.get(7) is None
+
+    def test_missing_key_returns_none(self):
+        store, _ = loaded_store()
+        with KVServer(store) as server:
+            assert (
+                await_result(server, Request(REQ_GET, 10**9, wait=True)) is None
+            )
+
+    def test_requests_route_to_home_shard_lane(self):
+        store, _ = loaded_store(n_shards=4)
+        server = KVServer(store)
+        for key in (3, 77, 1_234, 99_999):
+            lane = server._lane_for(key)
+            assert lane.index == shard_of_key(key, 4)
+
+    def test_single_tree_engine_gets_one_lane(self):
+        tree = FLSMTree(serve_config())
+        with KVServer(tree) as server:
+            assert server.n_lanes == 1
+            await_result(server, Request(REQ_PUT, 5, value=55, wait=True))
+            assert await_result(server, Request(REQ_GET, 5, wait=True)) == 55
+
+    def test_bad_request_kind_rejected(self):
+        with pytest.raises(ServeError):
+            Request(99, 1)
+
+    def test_submit_requires_running_server(self):
+        store, _ = loaded_store()
+        server = KVServer(store)
+        with pytest.raises(ServeError):
+            server.submit(Request(REQ_GET, 1))
+        with pytest.raises(ServeError):
+            server.try_submit(Request(REQ_GET, 1))
+
+    def test_start_twice_rejected(self):
+        store, _ = loaded_store()
+        with KVServer(store) as server:
+            with pytest.raises(ServeError):
+                server.start()
+
+    def test_config_validation(self):
+        store, _ = loaded_store()
+        with pytest.raises(ConfigError):
+            KVServer(store, queue_capacity=0)
+        with pytest.raises(ConfigError):
+            KVServer(store, max_batch=0)
+        with pytest.raises(ConfigError):
+            KVServer(store, window_ops=-1)
+        with pytest.raises(ConfigError):
+            KVServer(store, tuners=[StaticTuner(1)])  # 1 tuner, 2 lanes
+
+
+class TestAdmissionControl:
+    def test_try_submit_drops_when_queue_full(self):
+        store, _ = loaded_store(n_shards=1)
+        server = KVServer(store, queue_capacity=4, max_batch=4)
+        # Not started: fill the lane queue directly to model a stalled lane.
+        lane = server.lanes[0]
+        server._running = True
+        accepted = rejected = 0
+        for key in range(50):
+            if server.try_submit(Request(REQ_GET, key)):
+                accepted += 1
+            else:
+                rejected += 1
+        assert accepted == 4  # bounded queue
+        assert rejected == 46
+        assert server.total_rejected == 46
+        assert lane.queue.qsize() == 4
+
+    def test_submit_blocks_until_capacity_or_timeout(self):
+        store, _ = loaded_store(n_shards=1)
+        server = KVServer(store, queue_capacity=2)
+        server._running = True  # no workers: queue never drains
+        assert server.submit(Request(REQ_PUT, 1, value=1))
+        assert server.submit(Request(REQ_PUT, 2, value=2))
+        started = time.perf_counter()
+        assert not server.submit(Request(REQ_PUT, 3, value=3), timeout=0.05)
+        assert time.perf_counter() - started >= 0.05
+        assert server.total_rejected == 1
+
+    def test_queue_depth_metrics(self):
+        store, workload = loaded_store(n_shards=2)
+        with KVServer(store, max_batch=16) as server:
+            for request in request_stream(workload, 500, tenant="t"):
+                server.submit(request, timeout=5.0)
+            deadline = time.time() + 10.0
+            while server.total_completed < 500 and time.time() < deadline:
+                time.sleep(0.005)
+        assert server.total_completed == 500
+        assert server.max_queue_depth() >= 0
+        assert server.mean_queue_depth() >= 0.0
+        assert server.queue_depths() == [0, 0]
+
+
+class TestLoadGeneration:
+    def test_open_loop_replays_every_op_when_underloaded(self):
+        store, workload = loaded_store(n_shards=2)
+        with KVServer(store) as server:
+            report = run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="uniform",
+                        workload=workload,
+                        n_ops=2_000,
+                        rate=50_000.0,
+                        seed=3,
+                    )
+                ],
+            )
+        assert report.offered == 2_000
+        assert report.dropped == 0
+        assert report.completed == 2_000
+        assert report.histogram.count == 2_000
+        assert report.throughput > 0
+        assert 0.0 <= report.drop_fraction <= 1.0
+
+    def test_closed_loop_completes_all(self):
+        store, workload = loaded_store(n_shards=2)
+        with KVServer(store, max_batch=8) as server:
+            report = run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="sync",
+                        workload=workload,
+                        n_ops=300,
+                        n_clients=3,
+                        closed_loop=True,
+                        seed=5,
+                    )
+                ],
+            )
+        assert report.dropped == 0
+        assert report.completed == report.offered
+        # Closed-loop latency excludes no queueing: every request was
+        # submitted, served and awaited.
+        assert report.histogram.count == report.completed
+
+    def test_multi_tenant_mix_reports_per_tenant_tails(self):
+        store, workload = loaded_store(n_shards=2)
+        zipf_like = UniformWorkload(4_000, lookup_fraction=0.1, seed=31)
+        with KVServer(store) as server:
+            report = run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="readers",
+                        workload=workload,
+                        n_ops=1_000,
+                        rate=30_000.0,
+                        seed=1,
+                    ),
+                    TenantSpec(
+                        name="writers",
+                        workload=zipf_like,
+                        n_ops=800,
+                        rate=20_000.0,
+                        n_clients=2,
+                        seed=2,
+                    ),
+                ],
+            )
+        assert set(report.tenant_histograms) == {"readers", "writers"}
+        assert report.tenant_histograms["readers"].count == 1_000
+        assert report.tenant_histograms["writers"].count == 800
+        merged = report.histogram
+        assert merged.count == 1_800
+        # The merged histogram is exactly the tenant histograms combined.
+        assert merged.count == sum(
+            h.count for h in report.tenant_histograms.values()
+        )
+
+    def test_client_split_offers_exact_op_count(self):
+        """n_ops splits exactly across clients even when not divisible."""
+        store, workload = loaded_store(n_shards=2)
+        with KVServer(store) as server:
+            report = run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="t",
+                        workload=workload,
+                        n_ops=1_000,
+                        rate=50_000.0,
+                        n_clients=3,
+                        seed=7,
+                    )
+                ],
+            )
+        assert report.offered == 1_000
+        assert report.completed == 1_000
+
+    def test_request_stream_advances_through_missions(self):
+        workload = UniformWorkload(1_000, lookup_fraction=0.5, seed=9)
+        stream = list(request_stream(workload, 250, mission_size=100))
+        assert len(stream) == 250
+        # Mission boundaries must not reset the generator: the stream is
+        # what one missions() iterator yields, flattened.
+        missions = list(workload.missions(3, 100))
+        expected_keys = [int(k) for m in missions for k in m.keys][:250]
+        assert [r.key for r in stream] == expected_keys
+
+
+class TestTuningLoop:
+    def test_windows_close_while_serving(self):
+        store, workload = loaded_store(n_shards=2)
+        tuners = [StaticTuner(3), StaticTuner(3)]
+        with KVServer(
+            store, tuners=tuners, window_ops=400, max_batch=32
+        ) as server:
+            report = run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="t",
+                        workload=workload,
+                        n_ops=2_000,
+                        # Slow enough that the run outlasts several tuning-
+                        # loop poll cycles; the loop closes windows on op
+                        # count, but only as fast as it wakes.
+                        rate=8_000.0,
+                        seed=4,
+                    )
+                ],
+            )
+        assert report.completed == 2_000
+        # Window boundaries closed live (plus the final partial window
+        # closed by stop()).
+        assert len(server.windows) >= 2
+        # The static tuner drove every shard to K=3 at the first boundary.
+        assert server.windows[-1].policies == [[3] * len(p) for p in
+                                               server.windows[-1].policies]
+        # Window records carry the shared metrics vocabulary.
+        for window in server.windows:
+            assert window.stats.n_operations >= 0
+            assert window.stats.wall_duration >= 0.0
+        total_window_ops = sum(w.stats.n_operations for w in server.windows)
+        assert total_window_ops == 2_000
+
+    def test_lerp_tunes_live(self):
+        """A Lerp tuner attached to the serving loop performs model updates
+        (wall-clock charged to the window) against live traffic."""
+        store, workload = loaded_store(n_shards=1, n_records=2_000)
+        lerp = Lerp(store.config, LerpConfig(seed=11))
+        with KVServer(
+            store, tuners=[lerp], window_ops=300, max_batch=64
+        ) as server:
+            run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="t",
+                        workload=workload,
+                        n_ops=1_500,
+                        rate=50_000.0,
+                        seed=6,
+                    )
+                ],
+            )
+        tuned_windows = [
+            w for w in server.windows if w.stats.model_update_time > 0.0
+        ]
+        assert tuned_windows, "Lerp never updated its model live"
+
+    def test_window_stats_match_engine_missions(self):
+        """Per-window MissionStats merge with the ShardedStore aggregation
+        rule — counts across windows equal the requests served."""
+        store, workload = loaded_store(n_shards=2)
+        with KVServer(store, window_ops=250) as server:
+            report = run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="t",
+                        workload=workload,
+                        n_ops=1_000,
+                        rate=30_000.0,
+                        seed=8,
+                    )
+                ],
+            )
+        assert report.completed == 1_000
+        counts = sum(w.stats.n_operations for w in server.windows)
+        assert counts == 1_000
+        lookups = sum(w.stats.n_lookups for w in server.windows)
+        updates = sum(w.stats.n_updates for w in server.windows)
+        assert lookups + updates == 1_000
+        # Simulated time was charged by the engine, never by the server.
+        sim_total = sum(w.stats.sim_duration for w in server.windows)
+        assert sim_total == pytest.approx(store.clock_now)
+
+
+class TestSimulationContract:
+    def test_serving_charges_identical_sim_costs_as_batch_path(self):
+        """Serving a request stream yields the *same simulated totals* as
+        pushing the identical per-lane batches through the engine offline:
+        wall-clock serving introduces no SimClock or RNG perturbation."""
+        ops = 600
+        workload = UniformWorkload(2_000, lookup_fraction=0.5, seed=21)
+        store, _ = loaded_store(n_shards=1, n_records=2_000, seed=21)
+        mirror, _ = loaded_store(n_shards=1, n_records=2_000, seed=21)
+
+        batch = 64
+        with KVServer(store, max_batch=batch) as server:
+            # Submit in lockstep batches so lane batching is deterministic:
+            # exactly `batch` requests are queued, then awaited, so the
+            # worker drains them as one batch, mirroring the offline path.
+            pending = []
+            for request in request_stream(workload, ops, tenant="t"):
+                request.done = threading.Event()
+                server.submit(request, timeout=10.0)
+                pending.append(request)
+                if len(pending) == batch:
+                    for r in pending:
+                        assert r.done.wait(10.0)
+                    pending.clear()
+            for r in pending:
+                assert r.done.wait(10.0)
+
+        from repro.workload.spec import OP_LOOKUP, OP_UPDATE
+
+        for mission in workload.missions(-(-ops // 1_000), 1_000):
+            kinds = mission.kinds[: min(ops, len(mission))]
+            keys = mission.keys[: len(kinds)]
+            values = mission.values[: len(kinds)]
+            for start in range(0, len(kinds), batch):
+                stop = min(start + batch, len(kinds))
+                k, ky, vl = kinds[start:stop], keys[start:stop], values[start:stop]
+                upd = k == OP_UPDATE
+                if upd.any():
+                    mirror.put_batch(ky[upd], vl[upd])
+                look = k == OP_LOOKUP
+                if look.any():
+                    mirror.get_batch(ky[look])
+            ops -= len(kinds)
+            if ops <= 0:
+                break
+
+        assert store.clock_now == mirror.clock_now
+        assert store.io_counters.state_dict() == mirror.io_counters.state_dict()
+        assert store.stats.total_lookups == mirror.stats.total_lookups
+        assert store.stats.total_updates == mirror.stats.total_updates
+        assert store.stats.total_read_time == mirror.stats.total_read_time
+        assert store.stats.total_write_time == mirror.stats.total_write_time
+        assert [s.describe() for s in store.shards] == [
+            s.describe() for s in mirror.shards
+        ]
+
+
+class TestCheckpointing:
+    def test_live_checkpoint_between_windows(self, tmp_path):
+        store, workload = loaded_store(n_shards=2)
+        path = os.path.join(tmp_path, "live.snap")
+        with KVServer(store, window_ops=200) as server:
+            run_load(
+                server,
+                [
+                    TenantSpec(
+                        name="t",
+                        workload=workload,
+                        n_ops=600,
+                        rate=30_000.0,
+                        seed=12,
+                    )
+                ],
+            )
+            server.checkpoint(path)
+            # The server keeps serving after the snapshot.
+            probe = Request(REQ_GET, 1, wait=True)
+            assert server.submit(probe, timeout=5.0)
+            assert probe.done.wait(5.0)
+        restored = load_engine(path)
+        assert isinstance(restored, ShardedStore)
+        assert restored.n_shards == 2
+        assert restored.total_entries == store.total_entries
+        # The snapshot captured the live tree structure exactly.
+        assert [s.describe() for s in restored.shards] == [
+            s.describe() for s in store.shards
+        ]
+
+    def test_checkpoint_requires_running_server(self, tmp_path):
+        store, _ = loaded_store(n_shards=1)
+        server = KVServer(store).start()
+        server.stop()
+        with pytest.raises(ServeError):
+            server.checkpoint(os.path.join(tmp_path, "late.snap"))
+
+
+class TestStopSemantics:
+    def test_stop_drains_queued_requests(self):
+        store, workload = loaded_store(n_shards=2)
+        server = KVServer(store, queue_capacity=2_000, max_batch=16)
+        server.start()
+        accepted = 0
+        for request in request_stream(workload, 1_000, tenant="t"):
+            if server.try_submit(request):
+                accepted += 1
+        server.stop(drain=True)
+        assert server.total_completed == accepted
+
+    def test_stop_twice_is_noop(self):
+        store, _ = loaded_store()
+        server = KVServer(store).start()
+        server.stop()
+        server.stop()
+
+    def test_restart_after_undrained_stop_serves_again(self):
+        """stop(drain=False) may leave a stale sentinel in a lane queue;
+        a restarted server must purge it or the new worker dies."""
+        store, workload = loaded_store(n_shards=1)
+        server = KVServer(store).start()
+        server.stop(drain=False)
+        server.start()
+        probe = Request(REQ_GET, 1, wait=True)
+        assert server.submit(probe, timeout=5.0)
+        assert probe.done.wait(5.0), "lane worker died on a stale sentinel"
+        server.stop()
+
+    def test_second_run_load_reports_only_its_own_traffic(self):
+        """LoadReport histograms/counters are per-call deltas, not the
+        server's lifetime cumulatives."""
+        store, workload = loaded_store(n_shards=2)
+        with KVServer(store) as server:
+            spec = lambda seed: TenantSpec(  # noqa: E731
+                name="t", workload=workload, n_ops=500, rate=40_000.0, seed=seed
+            )
+            first = run_load(server, [spec(1)])
+            second = run_load(server, [spec(2)])
+        assert first.completed == 500
+        assert second.completed == 500
+        assert first.histogram.count == 500
+        assert second.histogram.count == 500
+        assert second.tenant_histograms["t"].count == 500
+        # The server's own view stays cumulative.
+        assert server.histogram().count == 1_000
+
+    def test_restart_measures_afresh(self):
+        """A stopped server can restart; elapsed/throughput restart too."""
+        store, _ = loaded_store()
+        server = KVServer(store).start()
+        server.stop()
+        server.start()
+        probe = Request(REQ_GET, 1, wait=True)
+        assert server.submit(probe, timeout=5.0)
+        assert probe.done.wait(5.0)
+        assert server.elapsed > 0.0
+        server.stop()
+        assert server.elapsed > 0.0
+        assert server.throughput > 0.0
+
+    def test_final_window_closed_on_stop(self):
+        store, workload = loaded_store(n_shards=2)
+        server = KVServer(store).start()
+        for request in request_stream(workload, 100, tenant="t"):
+            server.submit(request, timeout=5.0)
+        server.stop()
+        assert len(server.windows) == 1
+        assert server.windows[0].stats.n_operations == 100

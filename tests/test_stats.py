@@ -30,6 +30,30 @@ class TestMissionStats:
         assert mission.level_time(2) == pytest.approx(2.0)
         assert mission.level_time(3) == 0.0
 
+    def test_ops_per_second_uses_wall_duration(self):
+        mission = MissionStats(
+            index=0, n_lookups=300, n_updates=200, wall_duration=0.25
+        )
+        assert mission.ops_per_second == pytest.approx(2000.0)
+        assert MissionStats(index=0, n_lookups=5).ops_per_second == 0.0
+
+    def test_sim_ops_per_second_uses_sim_duration(self):
+        mission = MissionStats(
+            index=0, n_lookups=100, sim_duration=0.5
+        )
+        assert mission.sim_ops_per_second == pytest.approx(200.0)
+
+    def test_wall_duration_excluded_from_snapshots(self):
+        """Wall time is a host measurement — like model_update_time it
+        cannot survive a bit-exact save/restore, so it is not serialized
+        and restores as 0.0."""
+        mission = MissionStats(index=0, n_lookups=1, wall_duration=1.5)
+        state = mission.state_dict()
+        assert "wall_duration" not in state
+        restored = MissionStats.from_state_dict(state)
+        assert restored.wall_duration == 0.0
+        assert restored.n_lookups == 1
+
 
 class TestStatsCollector:
     def test_attribution_accumulates(self):

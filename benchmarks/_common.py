@@ -10,9 +10,16 @@ DESIGN.md §2.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 REPORT_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_reports"
+
+#: Machine-readable per-benchmark metrics (the CI perf trajectory). One
+#: JSON file per benchmark; ``scripts/bench_compare.py --collect`` merges
+#: them into ``BENCH_PR.json`` and diffs against ``BENCH_BASELINE.json``.
+METRICS_DIR = REPORT_DIR / "metrics"
 
 
 def emit_report(name: str, text: str) -> None:
@@ -22,6 +29,46 @@ def emit_report(name: str, text: str) -> None:
     print(text)
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_metrics(name: str, payload: dict) -> None:
+    """Persist one benchmark's machine-readable metrics.
+
+    ``payload`` must be JSON-serializable; the active ``REPRO_BENCH_SCALE``
+    is stamped in so the comparison script can refuse cross-scale diffs.
+    """
+    METRICS_DIR.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "default"),
+        **payload,
+    }
+    (METRICS_DIR / f"{name}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def metrics_from_results(results) -> dict:
+    """Per-system summary numbers from a ``{name: SeriesResult}`` mapping.
+
+    Simulated quantities (latency, sim totals) are deterministic at a fixed
+    scale and seed; wall-clock ops/s varies by host and is compared
+    warn-only by the trajectory diff.
+    """
+    return {
+        "systems": {
+            name: {
+                "mean_latency_ms": result.mean_latency() * 1e3,
+                "sim_total_s": result.total_time(),
+                "ops_per_second": result.ops_per_second,
+                "n_missions": len(result.missions),
+                "n_operations": int(
+                    sum(m.n_operations for m in result.missions)
+                ),
+            }
+            for name, result in results.items()
+        }
+    }
 
 
 def settled_mean(result, fraction: float = 0.35) -> float:

@@ -10,7 +10,7 @@ Scaled-down equivalent: run all three Lerp modes for the same mission
 budget and compare convergence and settled latency.
 """
 
-from _common import emit_report, settled_mean
+from _common import emit_metrics, emit_report, metrics_from_results, settled_mean
 
 from repro.bench import base_config, bench_lerp_config, bench_scale
 from repro.bench.harness import Experiment, SystemSpec, run_experiment
@@ -57,6 +57,7 @@ def test_bruteforce_ablation(benchmark):
             f"final policies {final}"
         )
     emit_report("bruteforce_ablation", "\n".join(lines))
+    emit_metrics("bruteforce_ablation", metrics_from_results(results))
 
     level = settled["level-based (RusKey)"]
     joint = settled["joint action space"]

@@ -10,7 +10,7 @@ flexible 40 s — flexible strictly fastest, greedy strictly slowest.
 
 import numpy as np
 
-from _common import emit_report
+from _common import emit_metrics, emit_report
 
 from repro.bench import bench_scale
 from repro.config import SystemConfig, TransitionKind
@@ -92,6 +92,15 @@ def test_fig10(benchmark):
     for name, outcome in outcomes.items():
         lines.append(f"  {name:>10}: {outcome['total']:8.2f} s")
     emit_report("fig10_transition", "\n".join(lines))
+    emit_metrics(
+        "fig10_transition",
+        {
+            "systems": {
+                name: {"sim_total_s": outcome["total"]}
+                for name, outcome in outcomes.items()
+            }
+        },
+    )
 
     greedy = outcomes["greedy"]
     lazy = outcomes["lazy"]

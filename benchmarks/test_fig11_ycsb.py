@@ -8,7 +8,7 @@ panel Aggressive achieves the lowest latency and RusKey is on par with it.
 
 import pytest
 
-from _common import emit_report, settled_mean
+from _common import emit_metrics, emit_report, metrics_from_results, settled_mean
 
 from repro.bench import (
     format_latency_series,
@@ -37,6 +37,7 @@ def test_fig11(benchmark, panel):
         format_summary(results, title="Converged summary"),
     ]
     emit_report(f"fig11_{panel}", "\n".join(report))
+    emit_metrics(f"fig11_{panel}", metrics_from_results(results))
 
     settled = {name: settled_mean(result) for name, result in results.items()}
     baselines = {k: v for k, v in settled.items() if k != "RusKey"}

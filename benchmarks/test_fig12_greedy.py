@@ -10,7 +10,7 @@ best average rank (1.2 vs 1.8+ for the best greedy).
 
 import numpy as np
 
-from _common import emit_report
+from _common import emit_metrics, emit_report, metrics_from_results
 
 from repro.bench import (
     SESSION_NAMES,
@@ -46,6 +46,7 @@ def test_fig12(benchmark):
         ),
     ]
     emit_report("fig12_greedy", "\n".join(report))
+    emit_metrics("fig12_greedy", metrics_from_results(results))
 
     # RusKey achieves the best (or tied-best) average rank.
     best = min(averages.values())

@@ -14,7 +14,7 @@ processing time (see EXPERIMENTS.md for the unit caveat).
 
 import numpy as np
 
-from _common import emit_report
+from _common import emit_metrics, emit_report
 
 from repro.bench import bench_lerp_config, bench_scale, base_config
 from repro.config import BloomScheme
@@ -70,6 +70,7 @@ def test_fig13(benchmark):
             f"{row['ratio']:8.4f}"
         )
     emit_report("fig13_overhead", "\n".join(lines))
+    emit_metrics("fig13_overhead", {"combos": rows})
 
     # The model update stays a small fraction of mission processing on every
     # combination (paper: at most ~1 %; we allow a generous margin because

@@ -10,7 +10,7 @@ RusKey tracks the winner everywhere and beats all baselines on balanced.
 
 import pytest
 
-from _common import emit_report, settled_mean
+from _common import emit_metrics, emit_report, metrics_from_results, settled_mean
 
 from repro.bench import (
     format_latency_series,
@@ -40,6 +40,7 @@ def test_fig6(benchmark, mix):
         format_summary(results, title="Full-run mean latency (includes tuning phase)"),
     ]
     emit_report(f"fig6_{mix}", "\n".join(report))
+    emit_metrics(f"fig6_{mix}", metrics_from_results(results))
 
     settled = {name: settled_mean(result) for name, result in results.items()}
     baselines = {k: v for k, v in settled.items() if k != "RusKey"}

@@ -8,7 +8,7 @@ paper's Table 3 shows it achieving the best average performance rank (1.2).
 
 import numpy as np
 
-from _common import emit_report, settled_mean
+from _common import emit_metrics, emit_report, metrics_from_results
 
 from repro.bench import (
     SESSION_NAMES,
@@ -46,6 +46,7 @@ def test_fig7_table3(benchmark):
         ),
     ]
     emit_report("fig7_table3_dynamic", "\n".join(report))
+    emit_metrics("fig7_table3_dynamic", metrics_from_results(results))
 
     # Table 3 shape: RusKey achieves the best average rank.
     best_average = min(averages.values())

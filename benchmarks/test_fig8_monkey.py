@@ -9,7 +9,7 @@ visibly on the balanced workload where per-level tuning pays off.
 
 import pytest
 
-from _common import emit_report, settled_mean
+from _common import emit_metrics, emit_report, metrics_from_results, settled_mean
 
 from repro.bench import (
     format_latency_series,
@@ -40,6 +40,7 @@ def test_fig8(benchmark, mix):
         format_summary(results, title="Converged summary"),
     ]
     emit_report(f"fig8_{mix}", "\n".join(report))
+    emit_metrics(f"fig8_{mix}", metrics_from_results(results))
 
     settled = {name: settled_mean(result) for name, result in results.items()}
     baselines = {k: v for k, v in settled.items() if k != "RusKey"}

@@ -7,9 +7,7 @@ lower end-to-end latency. Left panel: end-to-end latency; right panel:
 per-level latency breakdown.
 """
 
-import numpy as np
-
-from _common import emit_report
+from _common import emit_metrics, emit_report, metrics_from_results
 
 from repro.bench import (
     format_per_level_latency,
@@ -58,6 +56,7 @@ def test_fig9(benchmark):
         f"Lazy-Leveling policies: {results['Lazy-Leveling'].policy_history[-1]}",
     ]
     emit_report("fig9_per_level", "\n".join(report))
+    emit_metrics("fig9_per_level", metrics_from_results(results))
 
     # Shape 1: RusKey's learned profile relaxes as levels shallow —
     # aggressive at depth, lazy near the top (K_1 >= K_L, non-increasing).

@@ -22,7 +22,7 @@ Report: ``bench_reports/serving_tail_latency.txt`` — completed and offered
 throughput, drop fraction, mean queue depth, p50/p99/p99.9.
 """
 
-from _common import emit_report
+from _common import emit_metrics, emit_report
 
 from repro.bench import bench_scale
 from repro.serve.experiments import (
@@ -81,6 +81,23 @@ def test_serving_tail_latency(benchmark):
             f"sim {run.sim_seconds:.3f}s"
         )
     emit_report("serving_tail_latency", "\n".join(lines))
+    configs = {}
+    for name, run in runs.items():
+        p = run.report.histogram.percentiles((50.0, 99.0, 99.9))
+        configs[name] = {
+            "throughput_rps": run.report.throughput,
+            "offered": int(run.report.offered),
+            "completed": int(run.report.completed),
+            "drop_pct": run.report.drop_fraction * 100.0,
+            "p50_ms": p[50.0] * 1e3,
+            "p99_ms": p[99.0] * 1e3,
+            "p999_ms": p[99.9] * 1e3,
+            "sim_total_s": run.sim_seconds,
+        }
+    emit_metrics(
+        "serving_tail_latency",
+        {"lane_capacity_rps": lane_capacity, "configs": configs},
+    )
 
     static_1 = runs["static K=5, 1 shard"]
     static_4 = runs["static K=5, 4 shards"]

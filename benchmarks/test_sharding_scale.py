@@ -18,9 +18,7 @@ throughput of the reproduction itself, not simulated latency.
 
 import time
 
-import numpy as np
-
-from _common import emit_report
+from _common import emit_metrics, emit_report
 
 from repro.bench import base_config, bench_scale
 from repro.core.missions import MissionRunner
@@ -114,6 +112,19 @@ def test_sharding_scale(benchmark):
         f"({shard_walls[1] / shard_walls[4]:.2f}x)"
     )
     emit_report("sharding_scale", "\n".join(lines))
+    emit_metrics(
+        "sharding_scale",
+        {
+            "paths": {
+                name: {
+                    "ops_per_second": n_ops / wall if wall else 0.0,
+                    "sim_total_s": sim_s,
+                }
+                for name, (wall, n_ops, sim_s) in rows.items()
+            },
+            "batch_speedup": batch_speedup,
+        },
+    )
 
     # Acceptance: the vectorized batch path beats per-key ingestion.
     assert batch_speedup > 1.0, f"put_batch slower than put ({batch_speedup:.2f}x)"

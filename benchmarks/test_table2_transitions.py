@@ -10,7 +10,7 @@ Regenerates both halves of the paper's Table 2:
 
 import pytest
 
-from _common import emit_report
+from _common import emit_metrics, emit_report
 
 from repro.config import SystemConfig, TransitionKind
 from repro.cost import paper_case_study
@@ -62,6 +62,7 @@ def test_table2(benchmark):
     for name, values in measured.items():
         lines.append(f"{name:>10} | {values['ios']:7d} I/Os | {values['seconds']:.6f} s")
     emit_report("table2_transitions", "\n".join(lines))
+    emit_metrics("table2_transitions", {"simulated": measured})
 
     # Paper numbers, exactly.
     assert analytic["greedy"].additional_ios == pytest.approx(125.0)

@@ -10,7 +10,7 @@ adaptation-phase and settled means.
 
 import numpy as np
 
-from _common import emit_report
+from _common import emit_metrics, emit_report
 
 from repro.bench import (
     bench_scale,
@@ -30,6 +30,21 @@ def test_warmstart_transfer(benchmark):
     result, schedule_b = benchmark.pedantic(run_transfer, rounds=1, iterations=1)
     emit_report(
         "warmstart_transfer", format_transfer_report(result, schedule_b)
+    )
+    emit_metrics(
+        "warmstart_transfer",
+        {
+            "systems": {
+                run.name: {
+                    "mean_latency_ms": run.mean_latency() * 1e3,
+                    "sim_total_s": float(
+                        sum(m.total_time for m in run.missions)
+                    ),
+                    "n_missions": len(run.missions),
+                }
+                for run in (result.warm, result.cold)
+            }
+        },
     )
 
     # Both transfer runs processed the identical full mission stream.

@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Machine-readable perf trajectory: collect + compare benchmark metrics.
+
+The benchmark suite writes one JSON file per benchmark under
+``bench_reports/metrics/`` (see ``benchmarks/_common.emit_metrics``). This
+script has two jobs, usually run as one CI step:
+
+1. **Collect** (``--collect DIR``): merge the per-benchmark files into a
+   single ``BENCH_PR.json`` trajectory snapshot (uploaded as a CI
+   artifact).
+2. **Compare** (``--baseline FILE``): diff the snapshot against the
+   committed ``BENCH_BASELINE.json``. Numeric drifts beyond the threshold
+   (default ±25 %) are *warnings* — simulated totals are deterministic at a
+   fixed scale but wall-clock ops/s varies by host, and quick-scale RL
+   trajectories are short. The only hard failure is a benchmark present in
+   the baseline but missing from the PR snapshot (a silently skipped or
+   deleted benchmark is exactly the regression this pipeline exists to
+   catch).
+
+Usage (CI)::
+
+    python scripts/bench_compare.py \
+        --collect bench_reports/metrics \
+        --pr bench_reports/BENCH_PR.json \
+        --baseline BENCH_BASELINE.json
+
+Regenerate the committed baseline after an intentional perf change
+(clear the metrics dir first — it accumulates across local runs, and
+collect skips files stamped with a different scale)::
+
+    rm -rf bench_reports/metrics
+    REPRO_BENCH_SCALE=quick python -m pytest -q benchmarks
+    REPRO_BENCH_SCALE=quick python scripts/bench_compare.py \
+        --collect bench_reports/metrics --pr BENCH_BASELINE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, Tuple
+
+SCHEMA_VERSION = 1
+
+#: Relative drift beyond which a numeric field is reported (warn-only).
+DEFAULT_THRESHOLD = 0.25
+
+#: Numeric fields that are host wall-clock measurements (or derived from
+#: one); flagged in the warning text so reviewers can tell machine noise
+#: from model drift. Covers SeriesResult.ops_per_second, the serving
+#: throughput/latency columns, fig13's model-update wall time and ratio,
+#: and sharding_scale's speedup.
+WALL_CLOCK_HINTS = (
+    "ops_per_second",
+    "throughput_rps",
+    "wall",
+    "_rps",
+    "model_s",
+    "ratio",
+    "speedup",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+)
+
+
+def collect(metrics_dir: str, scale: str) -> Dict[str, object]:
+    """Merge per-benchmark metric files into one trajectory snapshot.
+
+    The metrics dir accumulates across local runs at possibly different
+    scales; files stamped with a scale other than the active one are
+    skipped (with a note) so a stale default-scale record can neither
+    enter a quick-scale baseline nor flip the snapshot's scale stamp.
+    """
+    benchmarks: Dict[str, object] = {}
+    if os.path.isdir(metrics_dir):
+        for name in sorted(os.listdir(metrics_dir)):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(metrics_dir, name)) as fh:
+                record = json.load(fh)
+            benchmark = record.pop("benchmark", os.path.splitext(name)[0])
+            record_scale = record.pop("scale", scale)
+            if record_scale != scale:
+                print(
+                    f"note: skipping {name} (scale={record_scale!r}, "
+                    f"collecting {scale!r})"
+                )
+                continue
+            benchmarks[benchmark] = record
+    return {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "benchmarks": benchmarks,
+    }
+
+
+def numeric_leaves(
+    node: object, prefix: str = ""
+) -> Iterator[Tuple[str, float]]:
+    """Flatten nested dicts to (dotted-path, number) pairs."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+
+
+def compare(
+    pr: Dict[str, object], baseline: Dict[str, object], threshold: float
+) -> int:
+    """Print the trajectory diff; returns the process exit code."""
+    pr_benchmarks = pr.get("benchmarks", {})
+    base_benchmarks = baseline.get("benchmarks", {})
+
+    missing = sorted(set(base_benchmarks) - set(pr_benchmarks))
+    added = sorted(set(pr_benchmarks) - set(base_benchmarks))
+    if pr.get("scale") != baseline.get("scale"):
+        print(
+            f"note: scale mismatch (PR={pr.get('scale')!r}, "
+            f"baseline={baseline.get('scale')!r}); numeric diffs are not "
+            "meaningful across scales and are skipped"
+        )
+        compare_numbers = False
+    else:
+        compare_numbers = True
+
+    warnings = 0
+    if compare_numbers:
+        for name in sorted(set(pr_benchmarks) & set(base_benchmarks)):
+            pr_leaves = dict(numeric_leaves(pr_benchmarks[name]))
+            for path, base_value in numeric_leaves(base_benchmarks[name]):
+                if path not in pr_leaves:
+                    print(f"warn: {name}:{path} dropped from PR metrics")
+                    warnings += 1
+                    continue
+                pr_value = pr_leaves[path]
+                denom = max(abs(base_value), 1e-12)
+                drift = abs(pr_value - base_value) / denom
+                if drift > threshold:
+                    hint = (
+                        " (wall-clock; host-dependent)"
+                        if any(h in path for h in WALL_CLOCK_HINTS)
+                        else ""
+                    )
+                    print(
+                        f"warn: {name}:{path} drifted "
+                        f"{drift * 100:+.1f}% "
+                        f"({base_value:.6g} -> {pr_value:.6g}){hint}"
+                    )
+                    warnings += 1
+
+    for name in added:
+        print(f"note: new benchmark in PR metrics: {name}")
+    print(
+        f"bench_compare: {len(pr_benchmarks)} PR benchmarks vs "
+        f"{len(base_benchmarks)} baseline; {warnings} drift warning(s), "
+        f"{len(missing)} missing, {len(added)} new"
+    )
+    if missing:
+        for name in missing:
+            print(f"FAIL: benchmark missing from PR metrics: {name}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--collect",
+        metavar="DIR",
+        help="merge per-benchmark JSON files from DIR into --pr",
+    )
+    parser.add_argument(
+        "--pr",
+        required=True,
+        metavar="FILE",
+        help="trajectory snapshot to write (--collect) and/or compare",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="committed baseline to diff against (skip to only collect)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative drift that triggers a warning (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.collect:
+        snapshot = collect(
+            args.collect, os.environ.get("REPRO_BENCH_SCALE", "default")
+        )
+        with open(args.pr, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"bench_compare: wrote {args.pr} "
+            f"({len(snapshot['benchmarks'])} benchmarks, "
+            f"scale={snapshot['scale']})"
+        )
+    if not args.baseline:
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"FAIL: baseline {args.baseline} does not exist")
+        return 1
+    with open(args.pr) as fh:
+        pr = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    return compare(pr, baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,14 +23,17 @@ from typing import List, Optional
 from repro.bench.harness import Experiment, SystemSpec
 from repro.config import BloomScheme, SystemConfig, TransitionKind
 from repro.core.lerp import LerpConfig
-from repro.core.state import STATE_DIM
+from repro.core.state import POLICY_STATE_DIM, STATE_DIM
 from repro.core.tuners import (
     GreedyThresholdTuner,
     LazyLevelingTuner,
+    NamedPolicyTuner,
     StaticTuner,
 )
 from repro.errors import ConfigError
+from repro.lsm.policy import POLICY_NAMES
 from repro.rl.ddpg import DDPGConfig
+from repro.rl.dqn import DQNConfig
 from repro.workload.dynamic import DynamicWorkload, paper_dynamic_workload
 from repro.workload.uniform import UniformWorkload
 from repro.workload.ycsb import YCSBWorkload
@@ -281,6 +284,103 @@ def dynamic_workload_experiment(
 def session_bounds(workload: DynamicWorkload) -> List[int]:
     """Session boundaries plus the final mission count (for rankings)."""
     return workload.phase_boundaries() + [workload.total_missions]
+
+
+# ----------------------------------------------------------------------
+# Policy matrix: the named tiering/leveling/lazy-leveling dimension
+# ----------------------------------------------------------------------
+#: The panels of the policy matrix benchmark: the three static mixes plus
+#: the five-session dynamic schedule.
+POLICY_MATRIX_MIXES = ("write-heavy", "balanced", "read-heavy", "dynamic")
+
+
+def policy_lerp_config(n_missions: int, seed: int = 0) -> LerpConfig:
+    """Lerp hyperparameters for the named-policy action dimension.
+
+    The policy agent explores three arms with ε-greedy; ε anneals from 1 to
+    its floor within ~45 % of the run (per session for dynamic schedules),
+    mirroring how :func:`bench_lerp_config` sizes the ΔK noise decay.
+    """
+    budget = max(30, int(0.45 * n_missions))
+    decay = math.exp(math.log(0.05) / budget)  # epsilon 1.0 -> 0.05
+    return LerpConfig(
+        tune_policy=True,
+        policy_dqn=DQNConfig(
+            state_dim=POLICY_STATE_DIM,
+            n_actions=len(POLICY_NAMES),
+            epsilon_decay=decay,
+        ),
+        stable_window=min(25, max(8, n_missions // 12)),
+        max_stage_missions=max(40, int(0.55 * n_missions)),
+        seed=seed,
+    )
+
+
+def policy_matrix_systems(
+    n_missions: int, size_ratio: int = 10, seed: int = 0
+) -> List[SystemSpec]:
+    """Lerp driving the policy action vs the three static disciplines."""
+    return [
+        SystemSpec(
+            "Lerp+policy",
+            lambda config: None,  # default Lerp, policy dimension enabled
+            initial_policy=1,
+            lerp_config=policy_lerp_config(n_missions, seed=seed),
+        ),
+        SystemSpec("Leveling", lambda config: NamedPolicyTuner("leveling"), 1),
+        SystemSpec(
+            "Tiering",
+            lambda config: NamedPolicyTuner("tiering"),
+            initial_policy=size_ratio,
+        ),
+        SystemSpec(
+            "Lazy-Leveling",
+            lambda config: NamedPolicyTuner("lazy-leveling"),
+            initial_policy=size_ratio,
+        ),
+    ]
+
+
+def policy_matrix_experiment(
+    mix: str,
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+) -> Experiment:
+    """One panel of the policy matrix: static leveling vs static tiering vs
+    static lazy-leveling vs Lerp driving the named-policy action."""
+    scale = scale or bench_scale()
+    if mix == "dynamic":
+        workload = paper_dynamic_workload(
+            n_records=scale.n_records,
+            missions_per_session=scale.session_missions,
+            seed=seed + 41,
+        )
+        n_missions = workload.total_missions
+        per_era_missions = scale.session_missions
+    elif mix in STATIC_MIXES:
+        workload = UniformWorkload(
+            n_records=scale.n_records,
+            lookup_fraction=STATIC_MIXES[mix],
+            seed=seed + 41,
+            name=f"policy-{mix}",
+        )
+        n_missions = scale.n_missions
+        per_era_missions = n_missions
+    else:
+        raise ConfigError(
+            f"mix must be one of {POLICY_MATRIX_MIXES}, got {mix!r}"
+        )
+    config = base_config(BloomScheme.UNIFORM, scale, seed=seed)
+    return Experiment(
+        name=f"policy-matrix-{mix}",
+        workload=workload,
+        n_missions=n_missions,
+        mission_size=scale.mission_size,
+        base_config=config,
+        systems=policy_matrix_systems(
+            per_era_missions, size_ratio=config.size_ratio, seed=seed
+        ),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -6,10 +6,19 @@ from repro.core.lerp import Lerp, LerpConfig, discretize_action
 from repro.core.missions import MissionRunner
 from repro.core.propagation import PolicyPropagator
 from repro.core.ruskey import RusKey
-from repro.core.state import STATE_DIM, RunningScale, level_state, mission_reward
+from repro.core.state import (
+    POLICY_STATE_DIM,
+    STATE_DIM,
+    RunningScale,
+    current_policy_action,
+    level_state,
+    mission_reward,
+    policy_state,
+)
 from repro.core.tuners import (
     GreedyThresholdTuner,
     LazyLevelingTuner,
+    NamedPolicyTuner,
     NoOpTuner,
     StaticTuner,
     Tuner,
@@ -29,10 +38,14 @@ __all__ = [
     "NoOpTuner",
     "StaticTuner",
     "LazyLevelingTuner",
+    "NamedPolicyTuner",
     "GreedyThresholdTuner",
     "paper_greedy_variants",
     "STATE_DIM",
+    "POLICY_STATE_DIM",
     "RunningScale",
+    "current_policy_action",
     "level_state",
+    "policy_state",
     "mission_reward",
 ]

@@ -33,9 +33,18 @@ import numpy as np
 from repro.config import SystemConfig, TransitionKind
 from repro.core.detector import WorkloadChangeDetector
 from repro.core.propagation import PolicyPropagator
-from repro.core.state import STATE_DIM, RunningScale, level_state, mission_reward
+from repro.core.state import (
+    POLICY_STATE_DIM,
+    STATE_DIM,
+    RunningScale,
+    current_policy_action,
+    level_state,
+    mission_reward,
+    policy_state,
+)
 from repro.core.tuners import Tuner
 from repro.errors import RLError
+from repro.lsm.policy import POLICY_NAMES, policy_from_index
 from repro.lsm.stats import MissionStats
 from repro.lsm.tree import LSMTree
 from repro.rl.ddpg import DDPGAgent, DDPGConfig
@@ -65,6 +74,14 @@ class LerpConfig:
     (the paper sets 1/2). ``stable_window`` missions of an unchanged policy
     (with noise below ``convergence_sigma``) finish a tuning stage;
     ``max_stage_missions`` bounds a stage even without stability.
+
+    ``tune_policy`` switches Lerp from the per-level ΔK action space to the
+    *named-policy* dimension: one DQN agent picks among
+    leveling / tiering / lazy-leveling (:data:`repro.lsm.policy.POLICY_NAMES`)
+    each mission and the choice is applied through ``transition`` as a
+    whole-tree policy switch. The two action spaces are deliberately not
+    tuned simultaneously — a named switch rewrites every level's ``K``,
+    which would invalidate the per-level agents' credit assignment.
     """
 
     alpha: float = 0.5
@@ -75,6 +92,12 @@ class LerpConfig:
     )
     dqn: DQNConfig = field(
         default_factory=lambda: DQNConfig(state_dim=STATE_DIM, n_actions=3)
+    )
+    tune_policy: bool = False
+    policy_dqn: DQNConfig = field(
+        default_factory=lambda: DQNConfig(
+            state_dim=POLICY_STATE_DIM, n_actions=len(POLICY_NAMES)
+        )
     )
     updates_per_mission: int = 8
     stable_window: int = 25
@@ -107,6 +130,17 @@ class LerpConfig:
             raise RLError("reward_smoothing must be >= 1")
         if self.burn_in_missions < 0:
             raise RLError("burn_in_missions must be >= 0")
+        if self.tune_policy:
+            if self.policy_dqn.n_actions != len(POLICY_NAMES):
+                raise RLError(
+                    f"policy_dqn.n_actions must be {len(POLICY_NAMES)} "
+                    f"(one per named policy), got {self.policy_dqn.n_actions}"
+                )
+            if self.policy_dqn.state_dim != POLICY_STATE_DIM:
+                raise RLError(
+                    f"policy_dqn.state_dim must be {POLICY_STATE_DIM}, "
+                    f"got {self.policy_dqn.state_dim}"
+                )
 
 
 AgentType = Union[DDPGAgent, DQNAgent]
@@ -147,6 +181,15 @@ class Lerp(Tuner):
         self.converged = False
         self.restarts = 0
         self.total_model_update_s = 0.0
+        # --- named-policy action dimension (config.tune_policy) ----------
+        self._policy_agent: Optional[DQNAgent] = None
+        self._policy_last: Optional[Tuple[np.ndarray, int]] = None
+        self._policy_arm_stats: Dict[int, List[float]] = {}
+        self._policy_history: Deque[int] = deque(
+            maxlen=self.config.stable_window
+        )
+        self._policy_stage_missions = 0
+        self.policy_converged = False
 
     # ------------------------------------------------------------------
     # Agent plumbing
@@ -218,6 +261,9 @@ class Lerp(Tuner):
         burning_in = self._burn_in_left > 0
         if burning_in:
             self._burn_in_left -= 1
+        if self.config.tune_policy:
+            self._tune_named_policy(tree, mission, burning_in)
+            return
         if self.config.mode == "joint":
             self._observe_joint(tree, mission)
             return
@@ -244,6 +290,98 @@ class Lerp(Tuner):
             self._stage_missions = 0
             if self._stage_idx >= target:
                 self._finish_tuning(tree)
+
+    # ------------------------------------------------------------------
+    # Named-policy tuning step (the discrete policy action dimension)
+    # ------------------------------------------------------------------
+    def _tune_named_policy(
+        self, tree: LSMTree, mission: MissionStats, burning_in: bool
+    ) -> None:
+        """One step of the tiering/leveling/lazy-leveling action dimension.
+
+        A DQN agent over :data:`~repro.lsm.policy.POLICY_NAMES` observes a
+        tree-global state and reward (−normalized end-to-end latency per
+        op) and switches the whole tree's named policy through the
+        configured transition. Convergence mirrors the ΔK stages: once the
+        action has been stable for ``stable_window`` missions with
+        exploration annealed (or ``max_stage_missions`` elapsed), the
+        empirically best arm is committed; a detected workload shift
+        re-opens exploration via :meth:`_restart`.
+        """
+        cfg = self.config
+        if self._policy_agent is None:
+            self._policy_agent = DQNAgent(cfg.policy_dqn, self._rng)
+        agent = self._policy_agent
+        if tree.compaction_policy is None:
+            # Pin the tree so level growth keeps the active discipline while
+            # the agent explores (flexible semantics: free, immediate).
+            tree.set_named_policy(
+                policy_from_index(current_policy_action(tree)),
+                TransitionKind.FLEXIBLE,
+            )
+        current = current_policy_action(tree)
+        ops = max(1, mission.n_operations)
+        e2e = mission.total_time / ops
+        if burning_in:
+            # Scale still calibrating; neither learn the warm-up trend nor
+            # let it bias the arm means _commit_policy reads.
+            return
+        if self.policy_converged:
+            return
+        self._policy_arm_stats.setdefault(current, []).append(e2e)
+        state = policy_state(tree, mission, self._scale)
+        reward = -self._scale.normalize(e2e)
+        previous = self._policy_last
+        if previous is not None:
+            prev_state, prev_action = previous
+            agent.observe(prev_state, prev_action, reward, state)
+            for _ in range(cfg.updates_per_mission):
+                agent.update()
+        action = agent.act(state, explore=True)
+        if action != current:
+            tree.set_named_policy(policy_from_index(action), cfg.transition)
+        self._policy_last = (state, action)
+        agent.decay_epsilon()
+        self._policy_history.append(action)
+        self._policy_stage_missions += 1
+        if self._policy_stage_complete(agent):
+            self._commit_policy(tree)
+
+    def _policy_stage_complete(self, agent: DQNAgent) -> bool:
+        cfg = self.config
+        if self._policy_stage_missions >= cfg.max_stage_missions:
+            return True
+        if len(self._policy_history) < cfg.stable_window:
+            return False
+        stable = len(set(self._policy_history)) == 1
+        annealed = agent.epsilon <= agent.config.epsilon_min + 1e-9
+        return stable and annealed
+
+    def _commit_policy(self, tree: LSMTree) -> None:
+        """Commit the empirically best named policy for this workload era.
+
+        Like the ΔK stages, the exploration trajectory is a biased readout
+        (ε-greedy can camp on one arm); the committed answer is the arm with
+        the lowest mean observed end-to-end latency among arms with enough
+        samples.
+        """
+        arms = {
+            action: float(np.mean(latencies))
+            for action, latencies in self._policy_arm_stats.items()
+            if len(latencies) >= 3
+        }
+        if arms:
+            best = min(arms, key=arms.get)
+        elif self._policy_history:
+            best = self._policy_history[-1]
+        else:
+            best = current_policy_action(tree)
+        if best != current_policy_action(tree):
+            tree.set_named_policy(
+                policy_from_index(best), self.config.transition
+            )
+        self.policy_converged = True
+        self.converged = True
 
     # ------------------------------------------------------------------
     # Per-level tuning step
@@ -405,6 +543,11 @@ class Lerp(Tuner):
         self._reward_windows.clear()
         self._arm_stats.clear()
         self._burn_in_left = self.config.burn_in_missions
+        self._policy_last = None
+        self._policy_arm_stats.clear()
+        self._policy_history.clear()
+        self._policy_stage_missions = 0
+        self.policy_converged = False
         self._scale.boost()
         for scale in self._level_scales.values():
             scale.boost()
@@ -413,11 +556,14 @@ class Lerp(Tuner):
             agent.reset_exploration()
         if self._joint_agent is not None:
             self._joint_agent.reset_exploration()
+        if self._policy_agent is not None:
+            self._policy_agent.reset_exploration()
 
     def reset(self) -> None:
         """Full reset (drops all learned networks)."""
         self._agents.clear()
         self._joint_agent = None
+        self._policy_agent = None
         self._restart()
         self.restarts = 0
         self.detector.reset()
@@ -451,6 +597,21 @@ class Lerp(Tuner):
                 None if self._joint_agent is None
                 else self._joint_agent.state_dict()
             ),
+            "policy_agent": (
+                None if self._policy_agent is None
+                else self._policy_agent.state_dict()
+            ),
+            "policy_last": (
+                None if self._policy_last is None
+                else (self._policy_last[0].copy(), int(self._policy_last[1]))
+            ),
+            "policy_arm_stats": {
+                action: list(v)
+                for action, v in self._policy_arm_stats.items()
+            },
+            "policy_history": list(self._policy_history),
+            "policy_stage_missions": self._policy_stage_missions,
+            "policy_converged": self.policy_converged,
             "last": {
                 level_no: (state.copy(), action.copy())
                 for level_no, (state, action) in self._last.items()
@@ -503,6 +664,28 @@ class Lerp(Tuner):
         else:
             self._joint_agent = self._make_joint_agent()
             self._joint_agent.load_state_dict(state["joint_agent"])
+        # Policy-dimension keys are absent in pre-policy snapshots.
+        policy_agent = state.get("policy_agent")
+        if policy_agent is None:
+            self._policy_agent = None
+        else:
+            self._policy_agent = DQNAgent(self.config.policy_dqn, self._rng)
+            self._policy_agent.load_state_dict(policy_agent)
+        policy_last = state.get("policy_last")
+        self._policy_last = (
+            None
+            if policy_last is None
+            else (np.array(policy_last[0]), int(policy_last[1]))
+        )
+        self._policy_arm_stats = {
+            int(action): list(v)
+            for action, v in state.get("policy_arm_stats", {}).items()
+        }
+        self._policy_history = deque(
+            state.get("policy_history", []), maxlen=self.config.stable_window
+        )
+        self._policy_stage_missions = int(state.get("policy_stage_missions", 0))
+        self.policy_converged = bool(state.get("policy_converged", False))
         self._last = {
             int(level_no): (np.array(s), np.array(a))
             for level_no, (s, a) in state["last"].items()
@@ -552,9 +735,12 @@ class Lerp(Tuner):
         self._restart()
         self.restarts = 0
         self.detector.reset()
-        for agent in list(self._agents.values()) + (
-            [self._joint_agent] if self._joint_agent is not None else []
-        ):
+        extra = [
+            agent
+            for agent in (self._joint_agent, self._policy_agent)
+            if agent is not None
+        ]
+        for agent in list(self._agents.values()) + extra:
             if isinstance(agent, DDPGAgent):
                 agent.reset_exploration(
                     agent.config.noise_sigma * exploration_scale

@@ -32,7 +32,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, TransitionKind
 from repro.core.lerp import Lerp, LerpConfig
 from repro.core.missions import MissionRunner
 from repro.core.tuners import Tuner
@@ -148,6 +148,20 @@ class RusKey:
     def policies(self) -> List[int]:
         """Current per-level compaction policies (representative shard)."""
         return self.engine.policies()
+
+    def named_policy(self) -> Optional[str]:
+        """The pinned named compaction policy, if any (representative
+        shard)."""
+        return self.engine.named_policy()
+
+    def set_named_policy(
+        self,
+        policy,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+    ) -> None:
+        """Pin the engine to a named compaction policy (leveling / tiering /
+        lazy-leveling)."""
+        self.engine.apply_named_policy(policy, transition)
 
     # ------------------------------------------------------------------
     # Mission loop

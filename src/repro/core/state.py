@@ -17,11 +17,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import RLError
+from repro.lsm.policy import POLICY_NAMES, classify_policies, policy_index
 from repro.lsm.stats import MissionStats
 from repro.lsm.tree import LSMTree
 
 #: Dimensionality of the per-level state vector.
 STATE_DIM = 8
+
+#: Dimensionality of the named-policy (tree-global) state vector.
+POLICY_STATE_DIM = 8
 
 
 class RunningScale:
@@ -137,6 +141,61 @@ def level_state(
         ],
         dtype=np.float64,
     )
+
+
+def current_policy_action(tree: LSMTree) -> int:
+    """The discrete named-policy action the tree currently embodies.
+
+    A pinned tree reports its pin; an unpinned tree whose ``K`` vector
+    matches a named discipline reports that; anything else (e.g. the K=5
+    Moderate baseline, or mid-tuning per-level vectors) defaults to the
+    leveling action — the paper's initial configuration.
+    """
+    name = tree.named_policy()
+    if name is None:
+        name = classify_policies(tree.policies(), tree.config.size_ratio)
+    return policy_index(name) if name is not None else 0
+
+
+def policy_state(
+    tree: LSMTree,
+    mission: MissionStats,
+    e2e_scale: RunningScale,
+) -> np.ndarray:
+    """Tree-global feature vector for the named-policy action dimension.
+
+    Features (all ~[0, 1]):
+
+    0.   mission lookup fraction γ (point + range)
+    1.   mission range fraction (range scans punish tiering hardest)
+    2.   end-to-end latency per op (normalized by the e2e running scale)
+    3-5. one-hot of the current named policy (leveling/tiering/lazy-leveling)
+    6.   tree depth / 8
+    7.   mean runs per level / ``2T`` (read-amplification / merge-debt proxy)
+    """
+    ops = max(1, mission.n_operations)
+    t = tree.config.size_ratio
+    one_hot = np.zeros(len(POLICY_NAMES))
+    one_hot[current_policy_action(tree)] = 1.0
+    mean_runs = (
+        float(np.mean([level.n_runs for level in tree.levels]))
+        if tree.levels
+        else 0.0
+    )
+    head = np.asarray(
+        [
+            mission.lookup_fraction,
+            mission.n_ranges / ops,
+            e2e_scale.normalize(mission.total_time / ops),
+        ]
+    )
+    tail = np.asarray(
+        [
+            min(tree.n_levels / 8.0, 1.0),
+            min(mean_runs / (2.0 * t), 1.0),
+        ]
+    )
+    return np.concatenate([head, one_hot, tail]).astype(np.float64)
 
 
 def mission_reward(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.config import TransitionKind
 from repro.errors import ConfigError
+from repro.lsm.policy import PolicyLike, resolve_policy
 from repro.lsm.stats import MissionStats
 from repro.lsm.tree import LSMTree
 
@@ -80,6 +81,31 @@ class StaticTuner(Tuner):
         for level in tree.levels:
             if level.policy != self.policy:
                 tree.set_policy(level.level_no, self.policy, self.transition)
+
+
+class NamedPolicyTuner(Tuner):
+    """Pins the tree to one named compaction policy (leveling / tiering /
+    lazy-leveling, see :mod:`repro.lsm.policy`).
+
+    The pin itself keeps the tree on the discipline as it grows (under
+    lazy-leveling the bottom level moves); this tuner only re-establishes
+    the pin if something else dropped it. The static arms of the policy
+    matrix benchmark are instances of this tuner.
+    """
+
+    def __init__(
+        self,
+        policy: PolicyLike,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+        name: str = "",
+    ) -> None:
+        self.policy = resolve_policy(policy)
+        self.transition = transition
+        self.name = name or self.policy.name
+
+    def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
+        if tree.compaction_policy != self.policy:
+            tree.set_named_policy(self.policy, self.transition)
 
 
 class LazyLevelingTuner(Tuner):

@@ -40,6 +40,24 @@ def tree_write_amplification(size_ratio: int, policies: "list[int]") -> float:
     return sum(level_write_amplification(size_ratio, k) for k in policies)
 
 
+def named_policy_write_amplification(
+    policy, size_ratio: int, n_levels: int
+) -> float:
+    """Analytic write amplification of a named compaction policy
+    (:mod:`repro.lsm.policy`) at depth ``n_levels``.
+
+    Leveling costs ``L·T`` rewrites per entry, tiering ``L``, lazy-leveling
+    ``(L-1) + T`` — the ordering the policy matrix benchmark's write-heavy
+    panel reproduces empirically.
+    """
+    from repro.lsm.policy import resolve_policy
+
+    if n_levels < 1:
+        raise ConfigError(f"n_levels must be >= 1, got {n_levels}")
+    assignments = resolve_policy(policy).assignments(n_levels, size_ratio)
+    return tree_write_amplification(size_ratio, assignments)
+
+
 def measured_write_amplification(
     io: IOCounters, n_updates: int, entries_per_page: int
 ) -> float:

@@ -30,7 +30,7 @@ import math
 from typing import List, Sequence
 
 from repro.bloom.allocation import allocate_fprs
-from repro.config import BloomScheme, CostModelParams, SystemConfig
+from repro.config import CostModelParams, SystemConfig
 from repro.errors import ConfigError
 
 

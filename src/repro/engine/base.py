@@ -30,7 +30,10 @@ The contract, beyond plain data access:
   any engine without knowing its topology.
 * **Policy control** — ``apply_transition`` sets the compaction policy of
   levels ``1..len(policies)`` using a given transition kind on every
-  underlying tree.
+  underlying tree; ``apply_named_policy``/``named_policy`` do the same for
+  the named tiering/leveling/lazy-leveling dimension
+  (:mod:`repro.lsm.policy`), which is also the discrete policy action
+  surface the RL tuner drives.
 """
 
 from __future__ import annotations
@@ -117,6 +120,18 @@ class KVEngine(Protocol):
         self, policies: Sequence[int], transition: TransitionKind
     ) -> None:
         """Set the policy of levels ``1..len(policies)`` on every tree."""
+        ...
+
+    def named_policy(self) -> Optional[str]:
+        """Name of the pinned compaction policy (representative tree), or
+        ``None`` when levels are governed by raw per-level ``K`` values."""
+        ...
+
+    def apply_named_policy(
+        self, policy: object, transition: TransitionKind
+    ) -> None:
+        """Pin every underlying tree to a named compaction policy
+        (leveling / tiering / lazy-leveling) via ``transition``."""
         ...
 
     # -- persistence ----------------------------------------------------

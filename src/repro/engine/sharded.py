@@ -353,6 +353,19 @@ class ShardedStore:
         for shard in self.shards:
             shard.set_policy(level_no, new_policy, transition)
 
+    def named_policy(self) -> Optional[str]:
+        """Shard 0's pinned named policy (the representative trajectory;
+        with independent per-shard tuners shards may diverge)."""
+        return self.shards[0].named_policy()
+
+    def apply_named_policy(
+        self, policy, transition: TransitionKind = TransitionKind.FLEXIBLE
+    ) -> None:
+        """Pin every shard to a named compaction policy (see
+        :mod:`repro.lsm.policy`)."""
+        for shard in self.shards:
+            shard.set_named_policy(policy, transition)
+
     # ------------------------------------------------------------------
     # Aggregated introspection
     # ------------------------------------------------------------------

@@ -5,6 +5,18 @@ from repro.lsm.flsm import FLSMTree
 from repro.lsm.iterators import iter_live_items, live_items
 from repro.lsm.level import Level
 from repro.lsm.memtable import MemTable
+from repro.lsm.policy import (
+    POLICY_NAMES,
+    CompactionPolicy,
+    LazyLevelingPolicy,
+    LevelingPolicy,
+    TieringPolicy,
+    classify_policies,
+    named_policies,
+    policy_from_index,
+    policy_index,
+    resolve_policy,
+)
 from repro.lsm.run import SortedRun
 from repro.lsm.stats import BUFFER_LEVEL, MissionStats, StatsCollector
 from repro.lsm.transitions import (
@@ -13,6 +25,7 @@ from repro.lsm.transitions import (
     LazyTransition,
     TransitionStrategy,
     make_transition,
+    switch_named_policy,
 )
 from repro.lsm.tree import LSMTree
 
@@ -33,6 +46,17 @@ __all__ = [
     "LazyTransition",
     "FlexibleTransition",
     "make_transition",
+    "switch_named_policy",
+    "CompactionPolicy",
+    "LevelingPolicy",
+    "TieringPolicy",
+    "LazyLevelingPolicy",
+    "POLICY_NAMES",
+    "named_policies",
+    "resolve_policy",
+    "policy_index",
+    "policy_from_index",
+    "classify_policies",
     "live_items",
     "iter_live_items",
 ]

@@ -17,7 +17,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.config import SystemConfig, TransitionKind
+from repro.lsm.policy import PolicyLike
 from repro.lsm.stats import StatsCollector
+from repro.lsm.transitions import switch_named_policy
 from repro.lsm.tree import LSMTree
 from repro.storage.clock import SimClock
 
@@ -66,6 +68,25 @@ class FLSMTree(LSMTree):
         self.transition_log = [
             dict(entry) for entry in state.get("transition_log", [])
         ]
+
+    def transform_named_policy(self, policy: PolicyLike) -> float:
+        """Flexibly switch the whole tree to a named compaction policy
+        (leveling / tiering / lazy-leveling, see :mod:`repro.lsm.policy`).
+
+        Returns the immediate simulated cost of the switch in seconds —
+        always ``0.0`` for an FLSM-tree (only active-run capacities change),
+        which tests assert.
+        """
+        cost = switch_named_policy(self, policy, TransitionKind.FLEXIBLE)
+        self.transition_log.append(
+            {
+                "at": self.clock.now,
+                "level": None,
+                "policy": self.named_policy(),
+                "cost": cost,
+            }
+        )
+        return cost
 
     def transform_policies(self, new_policies: Sequence[int]) -> float:
         """Flexibly transition every level; returns total immediate cost."""

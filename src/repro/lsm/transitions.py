@@ -14,6 +14,12 @@ Three ways to move a level from policy ``K`` to ``K'``:
   zero delay.
 
 All three share one interface so tuners can be parameterized by strategy.
+The same three mechanisms also carry *named-policy switches* (tiering ↔
+leveling ↔ lazy-leveling, :mod:`repro.lsm.policy`): a named switch is a
+per-level ``K`` reassignment, so it inherits each strategy's cost model —
+free-and-immediate under flexible, the bounded-migration forced-merge cost
+under greedy, free-but-deferred under lazy. :func:`switch_named_policy`
+measures the immediate simulated cost of one such switch.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.config import TransitionKind
+from repro.lsm.policy import PolicyLike
 from repro.lsm.tree import LSMTree
 
 
@@ -36,6 +43,10 @@ class TransitionStrategy:
     def apply_all(self, tree: LSMTree, new_policies: Sequence[int]) -> None:
         """Move levels ``1..len(new_policies)`` to the given policies."""
         tree.set_policies(list(new_policies), self.kind)
+
+    def apply_named(self, tree: LSMTree, policy: PolicyLike) -> None:
+        """Pin ``tree`` to a named compaction policy via this mechanism."""
+        tree.set_named_policy(policy, self.kind)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -57,6 +68,17 @@ class FlexibleTransition(TransitionStrategy):
     """The FLSM-tree transition; free and immediate."""
 
     kind = TransitionKind.FLEXIBLE
+
+
+def switch_named_policy(
+    tree: LSMTree, policy: PolicyLike, kind: TransitionKind
+) -> float:
+    """Switch ``tree`` to a named policy; returns the immediate simulated
+    cost in seconds (0.0 for flexible and lazy; the forced-merge migration
+    cost for greedy)."""
+    before = tree.clock.now
+    tree.set_named_policy(policy, kind)
+    return tree.clock.now - before
 
 
 def make_transition(kind: TransitionKind) -> TransitionStrategy:

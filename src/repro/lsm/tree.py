@@ -34,8 +34,9 @@ from repro.errors import (
 from repro.lsm.entry import TOMBSTONE, merge_sorted_sources, validate_value
 from repro.lsm.level import Level
 from repro.lsm.memtable import MemTable
+from repro.lsm.policy import CompactionPolicy, PolicyLike, resolve_policy
 from repro.lsm.run import SortedRun
-from repro.lsm.stats import BUFFER_LEVEL, MissionStats, StatsCollector
+from repro.lsm.stats import MissionStats, StatsCollector
 from repro.storage.cache import LRUBlockCache
 from repro.storage.clock import SimClock
 from repro.storage.pager import DiskModel, IOCounters
@@ -63,6 +64,12 @@ class LSMTree:
         #: Bloom memory allocation as a future tuning dimension).
         self.bits_per_key = float(config.bits_per_key)
         self._fpr_depth = 0  # depth the cached FPR allocation was computed for
+        #: Named compaction policy the tree is pinned to, or ``None`` when
+        #: levels are governed by raw per-level ``K`` values only. A pinned
+        #: policy is re-applied whenever the tree grows a level (see
+        #: :mod:`repro.lsm.policy`); any explicit per-level
+        #: :meth:`set_policy` drops the pin.
+        self.compaction_policy: Optional[CompactionPolicy] = None
 
     # ------------------------------------------------------------------
     # Structure management
@@ -140,7 +147,35 @@ class LSMTree:
             grew = True
         if grew:
             self._refresh_fprs()
+            self._apply_pinned_policy()
         return self.levels[level_no - 1]
+
+    def _apply_pinned_policy(self) -> None:
+        """Re-align per-level policies with the pinned named policy.
+
+        Invoked after the tree grows a level (under lazy-leveling the old
+        bottom flips from leveling to tiering when a new bottom appears) and
+        after a greedy policy switch whose forced merges cascaded into a new
+        bottom level. Alignment uses flexible semantics — only active-run
+        capacities change, so no data moves and no simulated time is
+        charged. Policies queued by a lazy switch are *retargeted* to the
+        pinned assignment rather than eagerly applied.
+        """
+        pinned = self.compaction_policy
+        if pinned is None or not self.levels:
+            return
+        assignments = pinned.assignments(
+            len(self.levels), self.config.size_ratio
+        )
+        for level, want in zip(self.levels, assignments):
+            if level.pending_policy is not None:
+                if level.pending_policy != want:
+                    level.pending_policy = (
+                        want if level.policy != want else None
+                    )
+                continue
+            if level.policy != want:
+                level.set_policy_flexible(want)
 
     def _new_run(
         self,
@@ -434,7 +469,13 @@ class LSMTree:
     def set_policy(
         self, level_no: int, new_policy: int, transition: TransitionKind
     ) -> None:
-        """Change the compaction policy of one level using ``transition``."""
+        """Change the compaction policy of one level using ``transition``.
+
+        An explicit per-level change drops any pinned named policy — the
+        caller is taking over per-level control and a pin would silently
+        overwrite its choices at the next level growth.
+        """
+        self.compaction_policy = None
         level = self._ensure_level(level_no)
         if transition is TransitionKind.FLEXIBLE:
             level.set_policy_flexible(new_policy)
@@ -462,6 +503,46 @@ class LSMTree:
         indices = range(len(new_policies), 0, -1)
         for level_no in indices:
             self.set_policy(level_no, new_policies[level_no - 1], transition)
+
+    def set_named_policy(
+        self,
+        policy: PolicyLike,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+    ) -> None:
+        """Pin the tree to a named compaction policy (see
+        :mod:`repro.lsm.policy`).
+
+        The policy's per-level ``K`` assignment is applied through
+        ``transition`` (flexible: free and immediate; greedy: forced merges,
+        the bounded-migration cost model; lazy: queued until levels empty),
+        and the pin keeps future levels — and, under lazy-leveling, the
+        moving bottom level — on the discipline as the tree grows.
+        """
+        resolved = resolve_policy(policy)
+        if self.levels:
+            assignments = resolved.assignments(
+                len(self.levels), self.config.size_ratio
+            )
+            self.set_policies(assignments, transition)
+        self.compaction_policy = resolved
+        if transition is not TransitionKind.LAZY:
+            # A greedy cascade may have created a deeper level mid-switch;
+            # align it (and nothing else) with the pinned assignment.
+            self._apply_pinned_policy()
+
+    def named_policy(self) -> Optional[str]:
+        """Name of the pinned compaction policy, or ``None`` when the tree
+        is governed by raw per-level ``K`` values."""
+        policy = self.compaction_policy
+        return policy.name if policy is not None else None
+
+    def apply_named_policy(
+        self,
+        policy: PolicyLike,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+    ) -> None:
+        """Alias of :meth:`set_named_policy` under the engine contract."""
+        self.set_named_policy(policy, transition)
 
     # ------------------------------------------------------------------
     # KVEngine surface: mission windows, tuning targets, aggregate views
@@ -672,6 +753,7 @@ class LSMTree:
             "next_run_id": self._next_run_id,
             "bits_per_key": self.bits_per_key,
             "fpr_depth": self._fpr_depth,
+            "named_policy": self.named_policy(),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -701,4 +783,9 @@ class LSMTree:
         self._next_run_id = int(state["next_run_id"])
         self.bits_per_key = float(state["bits_per_key"])
         self._fpr_depth = int(state["fpr_depth"])
+        # Absent in pre-policy snapshots (format additions stay readable).
+        named = state.get("named_policy")
+        self.compaction_policy = (
+            resolve_policy(named) if named is not None else None
+        )
         self.check_invariants()

@@ -100,6 +100,7 @@ def lerp_config_to_state(config: LerpConfig) -> Dict[str, object]:
     state["transition"] = config.transition.value
     state["ddpg"]["hidden"] = list(config.ddpg.hidden)
     state["dqn"]["hidden"] = list(config.dqn.hidden)
+    state["policy_dqn"]["hidden"] = list(config.policy_dqn.hidden)
     return state
 
 
@@ -113,6 +114,10 @@ def lerp_config_from_state(state: Dict[str, object]) -> LerpConfig:
     dqn = dict(fields["dqn"])
     dqn["hidden"] = tuple(dqn["hidden"])
     fields["dqn"] = DQNConfig(**dqn)
+    if "policy_dqn" in fields:  # absent in pre-policy snapshots
+        policy_dqn = dict(fields["policy_dqn"])
+        policy_dqn["hidden"] = tuple(policy_dqn["hidden"])
+        fields["policy_dqn"] = DQNConfig(**policy_dqn)
     return LerpConfig(**fields)
 
 

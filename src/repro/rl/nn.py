@@ -13,7 +13,7 @@ All arrays are float64, batch-first (``x.shape == (batch, features)``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

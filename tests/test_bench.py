@@ -1,6 +1,5 @@
 """Tests for the benchmark harness (repro.bench)."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -4,7 +4,7 @@ mission runner."""
 import numpy as np
 import pytest
 
-from repro.config import BloomScheme, SystemConfig, TransitionKind
+from repro.config import BloomScheme, TransitionKind
 from repro.core import (
     GreedyThresholdTuner,
     LazyLevelingTuner,

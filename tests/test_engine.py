@@ -24,7 +24,6 @@ from repro.lsm.entry import TOMBSTONE
 from repro.lsm.flsm import FLSMTree
 from repro.lsm.memtable import MemTable
 from repro.lsm.tree import LSMTree
-from repro.storage.pager import IOCounters
 from repro.workload.uniform import UniformWorkload
 from repro.workload.ycsb import YCSBWorkload
 

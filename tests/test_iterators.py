@@ -1,7 +1,5 @@
 """Tests for repro.lsm.iterators."""
 
-import numpy as np
-
 from repro.lsm.iterators import iter_live_items, live_items
 from repro.lsm.tree import LSMTree
 

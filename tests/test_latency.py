@@ -6,8 +6,6 @@ exact (associative, commutative, lossless) so per-shard/per-tenant
 histograms can be combined in any order.
 """
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

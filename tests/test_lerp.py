@@ -5,10 +5,9 @@ the benchmark suite; these tests pin down the mechanics: action
 discretization, staging, propagation, restarts and the ablation modes.
 """
 
-import numpy as np
 import pytest
 
-from repro.config import BloomScheme, SystemConfig, TransitionKind
+from repro.config import BloomScheme
 from repro.core.lerp import (
     ACTION_THRESHOLD,
     JOINT_MAX_LEVELS,

@@ -21,7 +21,7 @@ from repro.bench.harness import (
     checkpoint_path,
     run_system,
 )
-from repro.config import BloomMode, SystemConfig, TransitionKind
+from repro.config import BloomMode, SystemConfig
 from repro.core.lerp import Lerp, LerpConfig
 from repro.core.ruskey import RusKey
 from repro.core.tuners import StaticTuner

@@ -1,8 +1,6 @@
 """Physics tests: the simulated engine's measured behaviour matches the
 paper's analytical models (amplifications, policy trade-offs, Monkey)."""
 
-import numpy as np
-import pytest
 
 from repro.config import BloomScheme, SystemConfig
 from repro.core.missions import MissionRunner

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SystemConfig
 from repro.core.lerp import Lerp, LerpConfig
 from repro.core.ruskey import RusKey
 from repro.core.tuners import StaticTuner
@@ -68,7 +67,7 @@ class TestMissionLoop:
         store = RusKey(small_config, tuner=StaticTuner(1))
         workload = UniformWorkload(500, lookup_fraction=0.5, seed=1)
         store.run_workload(workload, n_missions=1, mission_size=50)
-        stats = store.run_workload(
+        store.run_workload(
             workload, n_missions=1, mission_size=50, load=False
         )
         assert len(store.mission_log) == 2

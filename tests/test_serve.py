@@ -12,7 +12,6 @@ import os
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.config import SystemConfig

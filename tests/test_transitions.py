@@ -1,10 +1,9 @@
 """Tests for the three transition strategies (paper Section 4) and the
 FLSM-tree facade."""
 
-import numpy as np
 import pytest
 
-from repro.config import SystemConfig, TransitionKind
+from repro.config import TransitionKind
 from repro.lsm.flsm import FLSMTree
 from repro.lsm.transitions import (
     FlexibleTransition,

@@ -3,11 +3,11 @@ mechanics, cost accounting and invariants."""
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
-from repro.config import BloomMode, SystemConfig, TransitionKind
+from repro.config import SystemConfig, TransitionKind
 from repro.errors import KeyNotFoundError, TreeStateError
 from repro.lsm.iterators import live_items
 from repro.lsm.tree import LSMTree

@@ -276,12 +276,19 @@ class LSMTree:
             n_input_entries += active.n_entries
         merge_inputs.extend(sources)
 
+        # A tombstone may only be dropped when the merge output covers every
+        # older copy of its key: all deeper levels must be empty AND this
+        # level must hold no sealed runs outside the merge (under tiering /
+        # lazy-leveling the bottom level stacks sealed runs, and a key
+        # deleted there would resurrect if its tombstone were dropped from
+        # the active-run merge).
         levels_below = self.levels[level_no:]
         is_bottom = all(l.is_empty for l in levels_below)
+        covers_level = not level.sealed_runs
         keys, values = merge_sorted_sources(
             [k for k, _ in merge_inputs],
             [v for _, v in merge_inputs],
-            drop_tombstones=is_bottom,
+            drop_tombstones=is_bottom and covers_level,
         )
 
         cost = self.disk.sequential_read(read_pages)

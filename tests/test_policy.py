@@ -317,6 +317,37 @@ def test_policy_switch_preserves_contents(ops_before, ops_after, kind, target):
         assert tree.get(key) == model.get(key)
 
 
+def test_bottom_level_tombstone_not_dropped_across_run_stack():
+    """Regression: deleting a key held in a *sealed* run of the bottom
+    level must not resurrect it. The flush-merge into the bottom level's
+    active run may only drop tombstones when no sealed run of that level
+    sits outside the merge (under tiering the bottom stacks sealed runs)."""
+    config = SystemConfig(
+        size_ratio=4,
+        entry_bytes=1024,
+        page_bytes=4096,
+        write_buffer_bytes=8 * 1024,
+        initial_policy=4,
+        seed=13,
+    )
+    tree = FLSMTree(config)
+    tree.set_named_policy("tiering")
+    # Fill until the (bottom) level holds at least one sealed run.
+    key = 0
+    while not any(level.sealed_runs for level in tree.levels):
+        tree.put(key, 1)
+        key += 1
+    victim = 0  # lives in the sealed run
+    assert tree.get(victim) == 1
+    tree.delete(victim)
+    # Force the tombstone through the memtable into the level.
+    for filler in range(key, key + 2 * config.buffer_capacity_entries):
+        tree.put(filler, 1)
+    assert tree.get(victim) is None
+    keys, _ = live_items(tree)
+    assert victim not in set(keys.tolist())
+
+
 # ----------------------------------------------------------------------
 # RL policy action dimension
 # ----------------------------------------------------------------------

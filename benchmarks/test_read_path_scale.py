@@ -1,0 +1,171 @@
+"""Read-path micro-benchmark: vectorized pipeline vs the scalar reference.
+
+Races the level-at-a-time ``LSMTree.get_batch`` against the pre-PR
+run-at-a-time loop (kept verbatim as
+:func:`repro.lsm.readpath.reference_get_batch`) over identical tree
+snapshots and identical probe batches, on three panels:
+
+* ``leveling read-heavy`` — one run per level, 90 % present keys;
+* ``tiering read-heavy`` — stacked sealed runs (the paper's tiering
+  shape), 90 % present keys. **This is the gated panel**: the vectorized
+  path must win by the acceptance floor below.
+* ``tiering zipfian cached`` — stacked runs, Zipf(0.99) probes, block
+  cache enabled, exercising the batched
+  :meth:`LRUBlockCache.access_batch` branch.
+
+The headline metric is *wall-clock* throughput of the reproduction
+itself; simulated charges are asserted **bit-identical** between the two
+paths (``sim_total_s`` enters the metrics snapshot, where the trajectory
+diff treats it as deterministic).
+"""
+
+import time
+
+import numpy as np
+from _common import emit_metrics, emit_report
+
+from repro.bench import base_config, bench_scale
+from repro.lsm.flsm import FLSMTree
+from repro.lsm.readpath import reference_get_batch
+from repro.workload.zipf import ZipfianSampler
+
+N_BATCHES = 40
+BATCH = 1_024
+SEED = 17
+
+#: Acceptance floors for the stacked read-heavy panel (reference wall /
+#: vectorized wall). The default-scale floor is the PR's headline gate;
+#: quick CI runs keep a cushion against noisy shared runners (measured
+#: ~1.7x there).
+SPEEDUP_FLOOR = {"quick": 1.1, "default": 1.5, "full": 1.5}
+
+PANELS = (
+    # (name, policy, zipfian probes, block-cache pages)
+    ("leveling read-heavy", "leveling", False, 0),
+    ("tiering read-heavy", "tiering", False, 0),
+    ("tiering zipfian cached", "tiering", True, 256),
+)
+
+GATED_PANEL = "tiering read-heavy"
+
+
+def _build_tree(scale, policy, cache_pages):
+    """A steady-state tree pinned to ``policy`` with a warm memtable."""
+    config = base_config(scale=scale, seed=SEED).with_updates(
+        block_cache_pages=cache_pages
+    )
+    tree = FLSMTree(config)
+    tree.set_named_policy(policy)
+    rng = np.random.default_rng(SEED)
+    n = scale.n_records
+    keys = np.sort(rng.choice(n * 4, size=n, replace=False))
+    values = rng.integers(0, 10**6, size=n)
+    tree.bulk_load(keys, values, distribute=True)
+    tree.put_batch(
+        rng.integers(0, n * 4, size=500), rng.integers(0, 10**6, size=500)
+    )
+    return tree, keys
+
+
+def _probe_batches(keys, zipfian):
+    """Identical probe batches for both contenders."""
+    n = len(keys)
+    if zipfian:
+        sampler = ZipfianSampler(n, np.random.default_rng(SEED + 1))
+        return [keys[sampler.sample(BATCH)] for _ in range(N_BATCHES)]
+    rng = np.random.default_rng(SEED + 1)
+    return [
+        np.where(
+            rng.random(BATCH) < 0.9,  # read-heavy: 90 % present keys
+            keys[rng.integers(0, n, size=BATCH)],
+            rng.integers(0, n * 4, size=BATCH),
+        ).astype(np.int64)
+        for _ in range(N_BATCHES)
+    ]
+
+
+def _race_panel(scale, policy, zipfian, cache_pages):
+    tree, keys = _build_tree(scale, policy, cache_pages)
+    twin = FLSMTree(tree.config)
+    twin.load_state_dict(tree.state_dict())
+    batches = _probe_batches(keys, zipfian)
+
+    started = time.perf_counter()
+    outputs_new = [tree.get_batch(batch) for batch in batches]
+    new_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    outputs_ref = [reference_get_batch(twin, batch) for batch in batches]
+    ref_wall = time.perf_counter() - started
+
+    # Correctness contract: identical answers AND bit-identical simulated
+    # charges — the optimization is allowed to change wall-clock only.
+    for (found_new, values_new), (found_ref, values_ref) in zip(
+        outputs_new, outputs_ref
+    ):
+        assert np.array_equal(found_new, found_ref)
+        assert np.array_equal(values_new, values_ref)
+    assert tree.clock.now == twin.clock.now, (
+        f"sim divergence: {tree.clock.now} != {twin.clock.now}"
+    )
+    assert dict(tree.stats.level_read_time) == dict(twin.stats.level_read_time)
+
+    n_ops = N_BATCHES * BATCH
+    max_runs = max(level.n_runs for level in tree.levels)
+    return {
+        "n_operations": n_ops,
+        "max_runs_per_level": max_runs,
+        "new_wall_s": new_wall,
+        "reference_wall_s": ref_wall,
+        "ops_per_second": n_ops / new_wall if new_wall else 0.0,
+        "reference_ops_per_second": n_ops / ref_wall if ref_wall else 0.0,
+        "speedup": ref_wall / new_wall if new_wall else float("inf"),
+        "sim_total_s": tree.clock.now,
+    }
+
+
+def run_read_path_scale():
+    scale = bench_scale()
+    return scale, {
+        name: _race_panel(scale, policy, zipfian, cache_pages)
+        for name, policy, zipfian, cache_pages in PANELS
+    }
+
+
+def test_read_path_scale(benchmark):
+    scale, panels = benchmark.pedantic(
+        run_read_path_scale, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Vectorized vs scalar-reference read path "
+        f"({N_BATCHES} batches x {BATCH} keys, scale={scale.name})",
+        f"{'panel':>24} | {'runs':>4} | {'new kops/s':>10} | "
+        f"{'ref kops/s':>10} | {'speedup':>7} | {'sim s':>8}",
+    ]
+    for name, row in panels.items():
+        lines.append(
+            f"{name:>24} | {row['max_runs_per_level']:4d} | "
+            f"{row['ops_per_second'] / 1e3:10.1f} | "
+            f"{row['reference_ops_per_second'] / 1e3:10.1f} | "
+            f"{row['speedup']:6.2f}x | {row['sim_total_s']:8.4f}"
+        )
+    lines.append("")
+    lines.append(
+        "simulated charges bit-identical across paths on every panel; "
+        f"gated panel '{GATED_PANEL}' floor: "
+        f"{SPEEDUP_FLOOR[scale.name]:.2f}x"
+    )
+    emit_report("read_path_scale", "\n".join(lines))
+    emit_metrics("read_path_scale", {"panels": panels})
+
+    # The stacked-runs panel is where the level-at-a-time index pays off;
+    # the 1-run-per-level panel must at minimum not regress.
+    gated = panels[GATED_PANEL]["speedup"]
+    assert gated >= SPEEDUP_FLOOR[scale.name], (
+        f"stacked read path speedup {gated:.2f}x below "
+        f"{SPEEDUP_FLOOR[scale.name]:.2f}x floor"
+    )
+    assert panels["leveling read-heavy"]["speedup"] > 0.8
+    # The stacked panels must actually exercise stacked runs.
+    assert panels[GATED_PANEL]["max_runs_per_level"] >= 2

@@ -9,13 +9,23 @@ script has two jobs, usually run as one CI step:
    single ``BENCH_PR.json`` trajectory snapshot (uploaded as a CI
    artifact).
 2. **Compare** (``--baseline FILE``): diff the snapshot against the
-   committed ``BENCH_BASELINE.json``. Numeric drifts beyond the threshold
-   (default ±25 %) are *warnings* — simulated totals are deterministic at a
-   fixed scale but wall-clock ops/s varies by host, and quick-scale RL
-   trajectories are short. The only hard failure is a benchmark present in
-   the baseline but missing from the PR snapshot (a silently skipped or
-   deleted benchmark is exactly the regression this pipeline exists to
-   catch).
+   committed ``BENCH_BASELINE.json``. Columns fall in two tiers:
+
+   * **Wall-clock** columns (matched by :data:`WALL_CLOCK_HINTS`, plus
+     every column of the benchmarks in :data:`WALL_CLOCK_BENCHMARKS`,
+     whose whole run is shaped by host speed) vary by machine — drifts
+     beyond the threshold (default ±25 %) are *warnings*.
+   * **Simulated** columns (everything else: SimClock totals, simulated
+     latencies, operation/IO counts) are deterministic at a fixed scale
+     and seed — any drift beyond float-print tolerance
+     (``--sim-threshold``, default 1e-9 relative) is a **hard failure**,
+     as is a simulated column dropped from the PR snapshot. An intended
+     simulation change must regenerate the committed baseline in the
+     same PR.
+
+   A benchmark present in the baseline but missing from the PR snapshot
+   also fails hard (a silently skipped or deleted benchmark is exactly
+   the regression this pipeline exists to catch).
 
 Usage (CI)::
 
@@ -44,14 +54,19 @@ from typing import Dict, Iterator, Tuple
 
 SCHEMA_VERSION = 1
 
-#: Relative drift beyond which a numeric field is reported (warn-only).
+#: Relative drift beyond which a wall-clock field is reported (warn-only).
 DEFAULT_THRESHOLD = 0.25
 
+#: Relative drift beyond which a *simulated* field is a hard failure.
+#: Simulated columns are bit-deterministic at a fixed scale and seed; the
+#: tolerance only absorbs float printing, not real drift.
+SIM_THRESHOLD = 1e-9
+
 #: Numeric fields that are host wall-clock measurements (or derived from
-#: one); flagged in the warning text so reviewers can tell machine noise
-#: from model drift. Covers SeriesResult.ops_per_second, the serving
-#: throughput/latency columns, fig13's model-update wall time and ratio,
-#: and sharding_scale's speedup.
+#: one); drift in these is warn-only machine noise, not model drift.
+#: Covers SeriesResult.ops_per_second, the serving throughput/latency and
+#: load-window columns, fig13's model-update wall time and ratio, and the
+#: sharding/read-path speedups.
 WALL_CLOCK_HINTS = (
     "ops_per_second",
     "throughput_rps",
@@ -63,7 +78,16 @@ WALL_CLOCK_HINTS = (
     "p50_ms",
     "p99_ms",
     "p999_ms",
+    "offered",
+    "completed",
+    "drop_pct",
 )
+
+#: Benchmarks whose *entire* numeric record is shaped by host speed (the
+#: serving harness admits requests for a fixed wall window, so even its
+#: SimClock totals track the machine). Every column of these stays in the
+#: warn-only tier.
+WALL_CLOCK_BENCHMARKS = ("serving_tail_latency",)
 
 
 def collect(metrics_dir: str, scale: str) -> Dict[str, object]:
@@ -110,8 +134,18 @@ def numeric_leaves(
         yield prefix, float(node)
 
 
+def is_wall_clock(benchmark: str, path: str) -> bool:
+    """Whether ``benchmark:path`` is a host-speed measurement (warn tier)."""
+    if benchmark in WALL_CLOCK_BENCHMARKS:
+        return True
+    return any(hint in path for hint in WALL_CLOCK_HINTS)
+
+
 def compare(
-    pr: Dict[str, object], baseline: Dict[str, object], threshold: float
+    pr: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float,
+    sim_threshold: float = SIM_THRESHOLD,
 ) -> int:
     """Print the trajectory diff; returns the process exit code."""
     pr_benchmarks = pr.get("benchmarks", {})
@@ -130,42 +164,58 @@ def compare(
         compare_numbers = True
 
     warnings = 0
+    failures = 0
     if compare_numbers:
         for name in sorted(set(pr_benchmarks) & set(base_benchmarks)):
             pr_leaves = dict(numeric_leaves(pr_benchmarks[name]))
             for path, base_value in numeric_leaves(base_benchmarks[name]):
+                wall = is_wall_clock(name, path)
                 if path not in pr_leaves:
-                    print(f"warn: {name}:{path} dropped from PR metrics")
-                    warnings += 1
+                    if wall:
+                        print(f"warn: {name}:{path} dropped from PR metrics")
+                        warnings += 1
+                    else:
+                        print(
+                            f"FAIL: {name}:{path} (simulated) dropped from "
+                            "PR metrics"
+                        )
+                        failures += 1
                     continue
                 pr_value = pr_leaves[path]
                 denom = max(abs(base_value), 1e-12)
                 drift = abs(pr_value - base_value) / denom
-                if drift > threshold:
-                    hint = (
-                        " (wall-clock; host-dependent)"
-                        if any(h in path for h in WALL_CLOCK_HINTS)
-                        else ""
-                    )
+                if wall:
+                    if drift > threshold:
+                        print(
+                            f"warn: {name}:{path} drifted "
+                            f"{drift * 100:+.1f}% "
+                            f"({base_value:.6g} -> {pr_value:.6g}) "
+                            "(wall-clock; host-dependent)"
+                        )
+                        warnings += 1
+                elif drift > sim_threshold:
+                    # Simulated columns are deterministic: any real drift
+                    # means the model changed without a baseline update.
                     print(
-                        f"warn: {name}:{path} drifted "
-                        f"{drift * 100:+.1f}% "
-                        f"({base_value:.6g} -> {pr_value:.6g}){hint}"
+                        f"FAIL: {name}:{path} simulated drift "
+                        f"{drift * 100:+.2g}% "
+                        f"({base_value!r} -> {pr_value!r}); regenerate "
+                        "BENCH_BASELINE.json if this change is intended"
                     )
-                    warnings += 1
+                    failures += 1
 
     for name in added:
         print(f"note: new benchmark in PR metrics: {name}")
     print(
         f"bench_compare: {len(pr_benchmarks)} PR benchmarks vs "
         f"{len(base_benchmarks)} baseline; {warnings} drift warning(s), "
+        f"{failures} simulated failure(s), "
         f"{len(missing)} missing, {len(added)} new"
     )
     if missing:
         for name in missing:
             print(f"FAIL: benchmark missing from PR metrics: {name}")
-        return 1
-    return 0
+    return 1 if (missing or failures) else 0
 
 
 def main(argv=None) -> int:
@@ -192,7 +242,14 @@ def main(argv=None) -> int:
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
-        help="relative drift that triggers a warning (default 0.25)",
+        help="relative wall-clock drift that triggers a warning "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--sim-threshold",
+        type=float,
+        default=SIM_THRESHOLD,
+        help="relative simulated drift that fails the run (default 1e-9)",
     )
     args = parser.parse_args(argv)
 
@@ -217,7 +274,7 @@ def main(argv=None) -> int:
         pr = json.load(fh)
     with open(args.baseline) as fh:
         baseline = json.load(fh)
-    return compare(pr, baseline, args.threshold)
+    return compare(pr, baseline, args.threshold, args.sim_threshold)
 
 
 if __name__ == "__main__":

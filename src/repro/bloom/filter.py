@@ -110,8 +110,16 @@ class BitArrayBloomFilter:
         positions = self._positions(np.asarray([key], dtype=np.int64))[0]
         return bool(self._bits[positions].all())
 
-    def might_contain_batch(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`might_contain` over an int64 array."""
+    def might_contain_batch(
+        self, keys: np.ndarray, present: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`might_contain` over an int64 array.
+
+        ``present`` (exact membership of each key, when the caller already
+        knows it) is accepted for interface parity with the analytical
+        filter; a real bit-array filter still has to hash every key, so it
+        is ignored here.
+        """
         keys = np.asarray(keys, dtype=np.int64)
         if self._num_bits == 0:
             return np.ones(len(keys), dtype=bool)
@@ -172,13 +180,28 @@ class AnalyticalBloomFilter:
             return True
         return bool(self._rng.random() < self._fpr)
 
-    def might_contain_batch(self, keys: np.ndarray) -> np.ndarray:
+    def might_contain_batch(
+        self, keys: np.ndarray, present: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`might_contain`.
+
+        ``present`` is an optional exact-membership mask aligned with
+        ``keys``. When the caller already knows membership (the stacked
+        level index in :meth:`repro.lsm.tree.LSMTree.get_batch` does), the
+        internal binary search is skipped. The RNG is consumed *identically*
+        either way — one ``random(n_absent)`` draw over the same absent
+        mask in the same key order — so simulated results are bit-identical
+        with or without the hint.
+        """
         keys = np.asarray(keys, dtype=np.int64)
         if len(keys) == 0:
             return np.zeros(0, dtype=bool)
         if self._fpr >= 1.0:
             return np.ones(len(keys), dtype=bool)
-        result = self._contains(keys)
+        if present is None:
+            result = self._contains(keys)
+        else:
+            result = np.array(present, dtype=bool)
         absent = ~result
         n_absent = int(absent.sum())
         if n_absent:

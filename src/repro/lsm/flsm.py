@@ -32,8 +32,9 @@ class FLSMTree(LSMTree):
         config: SystemConfig,
         clock: Optional[SimClock] = None,
         stats: Optional[StatsCollector] = None,
+        profile: bool = False,
     ) -> None:
-        super().__init__(config, clock=clock, stats=stats)
+        super().__init__(config, clock=clock, stats=stats, profile=profile)
         self.transition_log: List[dict] = []
 
     def transform_policy(self, level_no: int, new_policy: int) -> float:

@@ -13,10 +13,92 @@ The level holds no cost logic; merging and accounting live in
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import PolicyError, TreeStateError
 from repro.lsm.run import SortedRun
+
+
+class LevelLookupIndex:
+    """Read-only point-lookup index over *all* runs of one level.
+
+    Built by merging every run's sorted keys into one array and keeping, for
+    each **unique** key in the level, the entry from the *newest* run that
+    contains it:
+
+    * ``keys``  — unique keys present anywhere in the level, sorted;
+    * ``rank``  — newest-first run rank containing the key (``0`` is the
+      newest run, i.e. ``runs[-1]``);
+    * ``values``/``positions`` — value and within-run position of that
+      newest entry (position drives the fence-pointer page:
+      ``position // entries_per_page``).
+
+    This is the in-memory metadata a real system holds per run (fence
+    pointers + filters), folded level-wide so a batch lookup resolves the
+    run-probe schedule of every key in one binary search instead of one per
+    run. The index is immutable; :meth:`Level.lookup_index` caches it keyed
+    on the level's run list (runs are immutable once created, so the tuple
+    of run ids identifies the content exactly).
+    """
+
+    __slots__ = ("n_runs", "keys", "rank", "values", "positions")
+
+    def __init__(self, runs: List[SortedRun]) -> None:
+        self.n_runs = len(runs)
+        parts_k: List[np.ndarray] = []
+        parts_rank: List[np.ndarray] = []
+        parts_pos: List[np.ndarray] = []
+        parts_v: List[np.ndarray] = []
+        # Newest first, so a stable sort leaves the newest copy of a
+        # duplicated key in front and ``rank`` is the probe order of
+        # ``get``/``get_batch`` (runs[-1] is probed first).
+        for rank, run in enumerate(reversed(runs)):
+            if run.n_entries == 0:
+                continue
+            parts_k.append(run.keys)
+            parts_rank.append(np.full(run.n_entries, rank, dtype=np.int64))
+            parts_pos.append(np.arange(run.n_entries, dtype=np.int64))
+            parts_v.append(run.values)
+        if not parts_k:
+            empty = np.zeros(0, dtype=np.int64)
+            self.keys = empty
+            self.rank = empty.copy()
+            self.values = empty.copy()
+            self.positions = empty.copy()
+            return
+        all_keys = np.concatenate(parts_k)
+        order = np.argsort(all_keys, kind="stable")
+        sorted_keys = all_keys[order]
+        first = np.ones(len(sorted_keys), dtype=bool)
+        first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        self.keys = sorted_keys[first]
+        self.rank = np.concatenate(parts_rank)[order][first]
+        self.values = np.concatenate(parts_v)[order][first]
+        self.positions = np.concatenate(parts_pos)[order][first]
+
+    def newest_ranks(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Probe schedule for ``keys``: ``(rank, values, positions)``.
+
+        ``rank[i]`` is the newest-first rank of the run that resolves
+        ``keys[i]`` or the sentinel ``n_runs`` when the level holds no copy
+        of the key (the key stays pending through every run). ``values`` and
+        ``positions`` are aligned gather results, meaningful only where
+        ``rank < n_runs``.
+        """
+        n = len(keys)
+        if len(self.keys) == 0:
+            sentinel = np.full(n, self.n_runs, dtype=np.int64)
+            zeros = np.zeros(n, dtype=np.int64)
+            return sentinel, zeros, zeros.copy()
+        pos = np.searchsorted(self.keys, keys)
+        clamped = np.minimum(pos, len(self.keys) - 1)
+        present = self.keys[clamped] == keys
+        rank = np.where(present, self.rank[clamped], self.n_runs)
+        return rank, self.values[clamped], self.positions[clamped]
 
 
 class Level:
@@ -30,6 +112,7 @@ class Level:
         "fpr",
         "runs",
         "max_policy",
+        "_lookup_cache",
     )
 
     def __init__(
@@ -55,6 +138,8 @@ class Level:
         self.pending_policy: Optional[int] = None
         self.fpr = fpr
         self.runs: List[SortedRun] = []
+        #: ``(run_ids, LevelLookupIndex)`` of the last stacked-index build.
+        self._lookup_cache: Optional[Tuple[Tuple[int, ...], LevelLookupIndex]] = None
 
     def _check_policy(self, policy: int) -> None:
         if not isinstance(policy, int) or not 1 <= policy <= self.max_policy:
@@ -100,6 +185,23 @@ class Level:
     def active_run_capacity(self) -> int:
         """Capacity of a (new) active run under the current policy: ``C/K``."""
         return max(1, self.capacity_entries // self.policy)
+
+    def lookup_index(self) -> LevelLookupIndex:
+        """The stacked point-lookup index over this level's current runs.
+
+        Lazily built and cached until the run list changes. Runs are
+        immutable once created (the active run is *replaced* wholesale on
+        every merge, never edited), so the tuple of run ids is a complete
+        content fingerprint — no invalidation hooks are needed at the
+        mutation sites.
+        """
+        run_ids = tuple(run.run_id for run in self.runs)
+        cached = self._lookup_cache
+        if cached is not None and cached[0] == run_ids:
+            return cached[1]
+        index = LevelLookupIndex(self.runs)
+        self._lookup_cache = (run_ids, index)
+        return index
 
     # ------------------------------------------------------------------
     # Run management (invoked by the tree)

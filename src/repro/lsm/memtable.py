@@ -3,6 +3,15 @@
 New writes land here; when the buffer holds ``capacity_entries`` entries it
 is sorted and flushed into Level 1 as (part of) a sorted run. Deletions are
 buffered as tombstones so they can shadow older on-disk versions.
+
+Batch lookups run against a **lazily-built sorted view** of the buffer
+(parallel key/value arrays sorted by key). The view is built at most once
+per write generation: any mutation (:meth:`MemTable.put`,
+:meth:`MemTable.delete`, :meth:`MemTable.put_batch`, :meth:`MemTable.clear`,
+:meth:`MemTable.load_state_dict`) invalidates it, and the next batch read
+rebuilds it. Read-heavy phases therefore pay the ``O(M log M)`` sort once
+instead of on every ``get_batch``, and :meth:`MemTable.drain_sorted` reuses
+a still-valid view instead of re-sorting at flush time.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from repro.lsm.entry import TOMBSTONE, validate_value
 class MemTable:
     """A bounded, mutable key-value buffer with newest-wins semantics."""
 
-    __slots__ = ("_capacity", "_entries")
+    __slots__ = ("_capacity", "_entries", "_sorted_view")
 
     def __init__(self, capacity_entries: int) -> None:
         if capacity_entries < 1:
@@ -27,6 +36,8 @@ class MemTable:
             )
         self._capacity = capacity_entries
         self._entries: Dict[int, int] = {}
+        #: Cached ``(sorted_keys, values)`` arrays, or ``None`` when stale.
+        self._sorted_view: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def capacity_entries(self) -> int:
@@ -45,10 +56,12 @@ class MemTable:
     def put(self, key: int, value: int) -> None:
         """Insert or overwrite ``key``. Overwrites do not consume capacity."""
         self._entries[int(key)] = validate_value(value)
+        self._sorted_view = None
 
     def delete(self, key: int) -> None:
         """Buffer a tombstone for ``key``."""
         self._entries[int(key)] = TOMBSTONE
+        self._sorted_view = None
 
     def put_batch(self, keys: np.ndarray, values: np.ndarray) -> int:
         """Bulk-insert a prefix of ``keys``/``values``; returns its length.
@@ -64,6 +77,7 @@ class MemTable:
         Values are NOT validated here; vectorized callers
         (``LSMTree.put_batch``) validate the whole batch up front.
         """
+        self._sorted_view = None
         n = len(keys)
         room = self._capacity - len(self._entries)
         if n < room:
@@ -89,6 +103,16 @@ class MemTable:
         ``None`` if the key is not buffered at all."""
         return self._entries.get(int(key))
 
+    def _build_sorted_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize (and cache) the buffer as key-sorted arrays."""
+        m = len(self._entries)
+        mk = np.fromiter(self._entries.keys(), dtype=np.int64, count=m)
+        mv = np.fromiter(self._entries.values(), dtype=np.int64, count=m)
+        order = np.argsort(mk, kind="stable")
+        view = (mk[order], mv[order])
+        self._sorted_view = view
+        return view
+
     def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`get` over an int64 key array.
 
@@ -96,12 +120,12 @@ class MemTable:
         ``buffered_mask[i]`` is ``True`` when ``keys[i]`` is buffered at all
         (``values[i]`` then holds its value, which may be ``TOMBSTONE``).
 
-        For B probe keys against M buffered entries, the buffer is
-        materialized and binary-searched in ``O((M + B) log M)`` numpy work
-        — a win once the batch is at least buffer-sized. A batch smaller
-        than the buffer falls back to one bulk pass of dict probes, which
-        costs ``O(B)`` and beats rebuilding the sorted view (measured
-        crossover is near B ≈ M).
+        A valid cached sorted view is always used (``O(B log M)`` binary
+        search, no rebuild). With a stale view, a batch smaller than the
+        buffer falls back to one bulk pass of dict probes — ``O(B)`` and
+        cheaper than re-sorting for a single batch — while a buffer-sized
+        batch (re)builds and caches the view, so consecutive batch reads
+        against an unchanged buffer sort at most once.
         """
         keys = np.asarray(keys, dtype=np.int64)
         n = len(keys)
@@ -110,19 +134,18 @@ class MemTable:
         m = len(self._entries)
         if n == 0 or m == 0:
             return buffered, values
-        if m > n:
-            get = self._entries.get
-            for i, key in enumerate(keys.tolist()):
-                value = get(key)
-                if value is not None:
-                    buffered[i] = True
-                    values[i] = value
-            return buffered, values
-        mk = np.fromiter(self._entries.keys(), dtype=np.int64, count=m)
-        mv = np.fromiter(self._entries.values(), dtype=np.int64, count=m)
-        order = np.argsort(mk, kind="stable")
-        mk = mk[order]
-        mv = mv[order]
+        view = self._sorted_view
+        if view is None:
+            if m > n:
+                get = self._entries.get
+                for i, key in enumerate(keys.tolist()):
+                    value = get(key)
+                    if value is not None:
+                        buffered[i] = True
+                        values[i] = value
+                return buffered, values
+            view = self._build_sorted_view()
+        mk, mv = view
         pos = np.searchsorted(mk, keys)
         clamped = np.minimum(pos, m - 1)
         buffered = mk[clamped] == keys
@@ -137,21 +160,23 @@ class MemTable:
         """Empty the buffer and return its contents sorted by key.
 
         Tombstones are retained in the output: they must be persisted so they
-        can shadow older versions further down the tree.
+        can shadow older versions further down the tree. A still-valid sorted
+        view is handed over as-is (ownership transfers — the cache slot is
+        cleared with the buffer), skipping the flush-time re-sort.
         """
         if not self._entries:
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty.copy()
-        keys = np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
-        values = np.fromiter(
-            self._entries.values(), dtype=np.int64, count=len(self._entries)
-        )
-        order = np.argsort(keys, kind="stable")
+        view = self._sorted_view
+        if view is None:
+            view = self._build_sorted_view()
+        self._sorted_view = None
         self._entries.clear()
-        return keys[order], values[order]
+        return view
 
     def clear(self) -> None:
         self._entries.clear()
+        self._sorted_view = None
 
     # ------------------------------------------------------------------
     # Snapshot hooks (see repro.persist)
@@ -174,3 +199,4 @@ class MemTable:
         self._entries.update(
             zip(state["keys"].tolist(), state["values"].tolist())
         )
+        self._sorted_view = None

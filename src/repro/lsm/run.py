@@ -92,6 +92,13 @@ class SortedRun:
         return -(-self.n_entries // self._entries_per_page)
 
     @property
+    def entries_per_page(self) -> int:
+        """Entries per fence-pointer page (the page of rank ``r`` is
+        ``r // entries_per_page``); used by the stacked level index to
+        compute page indices without a per-run :meth:`find_batch`."""
+        return self._entries_per_page
+
+    @property
     def is_empty(self) -> bool:
         return self.n_entries == 0
 
@@ -122,8 +129,17 @@ class SortedRun:
         """Whether the Bloom filter directs a disk probe for ``key``."""
         return self._bloom.might_contain(key)
 
-    def bloom_positive_batch(self, keys: np.ndarray) -> np.ndarray:
-        return self._bloom.might_contain_batch(keys)
+    def bloom_positive_batch(
+        self, keys: np.ndarray, present: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`bloom_positive`.
+
+        ``present`` is an optional exact-membership mask (from the stacked
+        level index); the analytical filter uses it to skip its internal
+        binary search while drawing false positives bit-identically, the
+        bit-array filter ignores it.
+        """
+        return self._bloom.might_contain_batch(keys, present=present)
 
     def position_of(self, key: int) -> int:
         """Rank ``key`` would occupy; used by fence pointers."""

@@ -35,6 +35,7 @@ from repro.lsm.entry import TOMBSTONE, merge_sorted_sources, validate_value
 from repro.lsm.level import Level
 from repro.lsm.memtable import MemTable
 from repro.lsm.policy import CompactionPolicy, PolicyLike, resolve_policy
+from repro.lsm.readpath import ReadPathProfiler, perf_counter
 from repro.lsm.run import SortedRun
 from repro.lsm.stats import MissionStats, StatsCollector
 from repro.storage.cache import LRUBlockCache
@@ -50,8 +51,15 @@ class LSMTree:
         config: SystemConfig,
         clock: Optional[SimClock] = None,
         stats: Optional[StatsCollector] = None,
+        profile: bool = False,
     ) -> None:
         self.config = config
+        #: Per-stage wall timers for the batch read path (``profile=True``).
+        #: Host-clock instrumentation only — simulated results are identical
+        #: with profiling on or off (see :mod:`repro.lsm.readpath`).
+        self.read_profiler: Optional[ReadPathProfiler] = (
+            ReadPathProfiler() if profile else None
+        )
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else StatsCollector()
         self.cache = LRUBlockCache(config.block_cache_pages)
@@ -392,44 +400,185 @@ class LSMTree:
         return value
 
     def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized point lookups.
+        """Vectorized point lookups, one stacked numpy pass per level.
 
         Returns ``(found_mask, values)`` aligned with ``keys``. Semantically
         equivalent to calling :meth:`get` per key against the same tree
-        state; the probe order (newest run first) and all cost charging are
-        identical, just batched per run.
+        state, and **bit-identical** to the run-at-a-time reference
+        (:func:`repro.lsm.readpath.reference_get_batch`) in every simulated
+        observable: probe order (newest run first), ``probe_cpu``/page-read
+        charges per run, Bloom RNG consumption, cache state.
+
+        Pipeline: the memtable resolves buffered keys (returning early when
+        the working set is read-hot enough to live in the buffer + shallow
+        levels); each level then consults its cached
+        :class:`~repro.lsm.level.LevelLookupIndex` to compute every key's
+        probe schedule across *all* runs of the level in one binary search,
+        leaving only O(pending) mask work, the per-run Bloom draw, and page
+        charging in the per-run loop.
         """
         keys = np.asarray(keys, dtype=np.int64)
         n = len(keys)
         self.stats.count_lookup(n)
+        prof = self.read_profiler
+        if prof is not None:
+            prof.note_batch(n)
+            t0 = perf_counter()
         resolved, buffered_values = self.memtable.get_batch(keys)
         found = resolved & (buffered_values != TOMBSTONE)
         values = np.where(found, buffered_values, 0)
+        if prof is not None:
+            prof.add("memtable", perf_counter() - t0)
+        if resolved.all():
+            # Memtable fast path: the whole batch was buffered.
+            return found, values
 
         pending = np.flatnonzero(~resolved)
         for level in self.levels:
+            pending = self._level_lookup_batch(
+                level, keys, pending, resolved, found, values, prof
+            )
             if len(pending) == 0:
-                break
-            for run in reversed(level.runs):
-                if len(pending) == 0:
-                    break
-                probe_cost = self.disk.probe_cpu(len(pending))
-                self.stats.add_read(level.level_no, probe_cost)
-                positives = run.bloom_positive_batch(keys[pending])
-                if not positives.any():
-                    continue
-                probe_idx = pending[positives]
-                hit, hit_values, pages = run.find_batch(keys[probe_idx])
-                io_cost = self.disk.random_read_batch(run.run_id, pages)
-                self.stats.add_read(level.level_no, io_cost)
-                if hit.any():
-                    hit_idx = probe_idx[hit]
-                    resolved[hit_idx] = True
-                    real = hit_values[hit] != TOMBSTONE
-                    found[hit_idx] = real
-                    values[hit_idx[real]] = hit_values[hit][real]
-                    pending = pending[~np.isin(pending, hit_idx, assume_unique=True)]
+                # Read-hot fast path: shallow levels covered the batch;
+                # deeper levels are never touched (and never charged).
+                return found, values
         return found, values
+
+    def _level_lookup_batch(
+        self,
+        level: Level,
+        keys: np.ndarray,
+        pending: np.ndarray,
+        resolved: np.ndarray,
+        found: np.ndarray,
+        values: np.ndarray,
+        prof: Optional[ReadPathProfiler],
+    ) -> np.ndarray:
+        """Probe one level for ``keys[pending]``; returns the new pending set.
+
+        ``resolved``/``found``/``values`` are updated in place. Cost
+        charging follows the sequential contract: each run is charged
+        ``probe_cpu`` for the keys still pending when it is probed (newest
+        run first) and one page read per Bloom positive, exactly as the
+        run-at-a-time loop would.
+        """
+        runs = level.runs
+        if not runs:
+            return pending
+        disk = self.disk
+        stats = self.stats
+        level_no = level.level_no
+        pk = keys[pending]
+
+        if len(runs) == 1:
+            # Leveling fast path: no stacked index needed for one run.
+            run = runs[0]
+            probe_cost = disk.probe_cpu(len(pending))
+            stats.add_read(level_no, probe_cost)
+            if prof is not None:
+                t0 = perf_counter()
+            positives = run.bloom_positive_batch(pk)
+            if prof is not None:
+                prof.add("bloom", perf_counter() - t0)
+            if not positives.any():
+                return pending
+            probe_idx = pending[positives]
+            if prof is not None:
+                t0 = perf_counter()
+            hit, hit_values, pages = run.find_batch(pk[positives])
+            if prof is not None:
+                prof.add("search", perf_counter() - t0)
+                t0 = perf_counter()
+            io_cost = disk.random_read_batch(run.run_id, pages)
+            if prof is not None:
+                prof.add("cache", perf_counter() - t0)
+            stats.add_read(level_no, io_cost)
+            if hit.any():
+                hit_idx = probe_idx[hit]
+                resolved[hit_idx] = True
+                real = hit_values[hit] != TOMBSTONE
+                found[hit_idx] = real
+                values[hit_idx[real]] = hit_values[hit][real]
+                # O(n) pending maintenance: recompute from the resolved
+                # mask instead of an O(n log n) np.isin set difference.
+                pending = pending[~resolved[pending]]
+            return pending
+
+        # Stacked runs (tiering / lazy-leveling): one pass over the level's
+        # merged index answers, for every pending key, which run resolves it
+        # (rank 0 = newest) — or the sentinel n_runs when the level misses.
+        if prof is not None:
+            t0 = perf_counter()
+        index = level.lookup_index()
+        rank, index_values, index_positions = index.newest_ranks(pk)
+        if prof is not None:
+            prof.add("search", perf_counter() - t0)
+        n_runs = len(runs)
+        n_pending = len(pending)
+        for j in range(n_runs):
+            # ``sel`` holds the pending-array indices probed at this run
+            # (newest_rank >= j), or None when every key is probed — always
+            # the case at rank 0, so the widest iteration skips selection
+            # entirely. Integer selection (one flatnonzero) beats repeating
+            # boolean masking across the probed/present/positions gathers.
+            if j == 0:
+                sel = None
+                n_j = n_pending
+                probed = pk
+                present_j = rank == 0
+            else:
+                mask_j = rank >= j
+                n_j = int(np.count_nonzero(mask_j))
+                if n_j == 0:
+                    break
+                sel = np.flatnonzero(mask_j)
+                probed = pk[sel]
+                present_j = rank[sel] == j
+            run = runs[n_runs - 1 - j]  # newest first
+            probe_cost = disk.probe_cpu(n_j)
+            stats.add_read(level_no, probe_cost)
+            if prof is not None:
+                t0 = perf_counter()
+            positives = run.bloom_positive_batch(probed, present=present_j)
+            if prof is not None:
+                prof.add("bloom", perf_counter() - t0)
+            pos_idx = np.flatnonzero(positives) if sel is None else sel[positives]
+            if len(pos_idx) == 0:
+                continue
+            if prof is not None:
+                t0 = perf_counter()
+            hit = present_j[positives]
+            pages = np.zeros(len(hit), dtype=np.int64)
+            entries_per_page = run.entries_per_page
+            any_hit = hit.any()
+            if any_hit:
+                hit_sel = pos_idx[hit]
+                pages[hit] = index_positions[hit_sel] // entries_per_page
+            false_pos = ~hit
+            if false_pos.any() and run.n_entries:
+                # Bloom false positives still pay the fence-pointer page a
+                # real probe would read; rare, so the per-run binary search
+                # only ever sees this residue.
+                fp_pos = np.searchsorted(run.keys, pk[pos_idx[false_pos]])
+                np.minimum(fp_pos, run.n_entries - 1, out=fp_pos)
+                pages[false_pos] = fp_pos // entries_per_page
+            if prof is not None:
+                prof.add("search", perf_counter() - t0)
+                t0 = perf_counter()
+            io_cost = disk.random_read_batch(run.run_id, pages)
+            if prof is not None:
+                prof.add("cache", perf_counter() - t0)
+            stats.add_read(level_no, io_cost)
+            if any_hit:
+                hit_idx = pending[hit_sel]
+                hit_values = index_values[hit_sel]
+                resolved[hit_idx] = True
+                real = hit_values != TOMBSTONE
+                found[hit_idx] = real
+                values[hit_idx[real]] = hit_values[real]
+        # Keys the level does not hold anywhere stay pending; everything
+        # else was resolved by its newest containing run above.
+        return pending[rank == n_runs]
 
     def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
         """All live entries with ``lo <= key <= hi`` as ``(key, value)``

@@ -63,6 +63,36 @@ class LRUBlockCache:
             self._pages.popitem(last=False)
         return False
 
+    def access_batch(self, run_id: int, page_indices) -> int:
+        """Record accesses to ``(run_id, page)`` for each page, in order.
+
+        Returns the number of hits. State-machine-equivalent to calling
+        :meth:`access` per page — same hit/miss tallies, same admissions,
+        same LRU recency and eviction order — with the per-call overhead
+        (attribute lookups, capacity branch) hoisted out of the loop.
+        ``page_indices`` must be plain ints (callers ``.tolist()`` numpy
+        arrays so snapshot page keys stay JSON-clean).
+        """
+        n = len(page_indices)
+        if self._capacity == 0:
+            self.misses += n
+            return 0
+        pages = self._pages
+        capacity = self._capacity
+        hits = 0
+        for page in page_indices:
+            key = (run_id, page)
+            if key in pages:
+                pages.move_to_end(key)
+                hits += 1
+            else:
+                pages[key] = None
+                if len(pages) > capacity:
+                    pages.popitem(last=False)
+        self.hits += hits
+        self.misses += n - hits
+        return hits
+
     def invalidate_run(self, run_id: int) -> int:
         """Drop every cached page belonging to run ``run_id``.
 

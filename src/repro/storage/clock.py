@@ -37,6 +37,27 @@ class SimClock:
         self._now += seconds
         return self._now
 
+    def advance_repeated(self, seconds: float, times: int) -> float:
+        """Advance by ``seconds``, ``times`` times; returns the total charged.
+
+        Bit-equivalent to calling :meth:`advance` in a loop — the clock and
+        the returned total accumulate by repeated addition, preserving the
+        exact float rounding sequence of per-event charging. Batched cost
+        paths (:meth:`repro.storage.pager.DiskModel.random_read_batch`) use
+        this so a batch charges the clock identically to its per-page loop.
+        """
+        if seconds < 0:
+            raise StorageError(f"cannot advance clock by {seconds} s")
+        if times < 0:
+            raise StorageError(f"cannot advance clock {times} times")
+        now = self._now
+        total = 0.0
+        for _ in range(times):
+            total += seconds
+            now += seconds
+        self._now = now
+        return total
+
     def elapsed_since(self, t0: float) -> float:
         """Simulated seconds elapsed since ``t0``."""
         return self._now - t0

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import CostModelParams
 from repro.errors import StorageError
 from repro.storage.cache import LRUBlockCache
@@ -123,8 +125,13 @@ class DiskModel:
     def random_read_batch(self, run_id: int, page_indices) -> float:
         """Read several pages of one run; returns total charged seconds.
 
-        With no cache configured, the whole batch is priced in one step; with
-        a cache, pages are checked individually in order.
+        With no cache configured, the whole batch is priced in one step.
+        With a cache, the batch runs through
+        :meth:`LRUBlockCache.access_batch` — hit/miss tallies, admissions
+        and eviction order are exactly those of a per-page
+        :meth:`random_read` loop, and the clock/total accumulate by
+        repeated per-miss addition (:meth:`SimClock.advance_repeated`) so
+        simulated charges are bit-identical to per-page charging.
         """
         n = len(page_indices)
         if n == 0:
@@ -135,10 +142,15 @@ class DiskModel:
             cost = n * self._costs.random_read_s
             self._clock.advance(cost)
             return cost
-        total = 0.0
-        for page_index in page_indices:
-            total += self.random_read(run_id, int(page_index))
-        return total
+        pages = np.asarray(page_indices)
+        if pages.size and int(pages.min()) < 0:
+            raise StorageError(
+                f"page_index must be >= 0, got {int(pages.min())}"
+            )
+        hits = self._cache.access_batch(run_id, pages.tolist())
+        misses = n - hits
+        self.counters.random_reads += misses
+        return self._clock.advance_repeated(self._costs.random_read_s, misses)
 
     def random_write(self, n_pages: int = 1) -> float:
         """Write ``n_pages`` pages at random offsets."""

@@ -213,3 +213,78 @@ class TestReporting:
     def test_format_per_level_latency(self):
         text = format_per_level_latency({"sys": {1: 0.5, 2: 1.0}})
         assert "L" in text and "sys" in text
+
+
+class TestBenchCompare:
+    """Two-tier trajectory diff in scripts/bench_compare.py: wall-clock
+    columns warn, simulated columns hard-fail."""
+
+    @pytest.fixture(scope="class")
+    def bench_compare(self):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "scripts"
+            / "bench_compare.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_compare", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _snapshot(benchmarks, scale="quick"):
+        return {"schema": 1, "scale": scale, "benchmarks": benchmarks}
+
+    def test_identical_passes(self, bench_compare):
+        snap = self._snapshot({"b": {"sim_total_s": 1.25, "ops_per_second": 9.0}})
+        assert bench_compare.compare(snap, snap, 0.25) == 0
+
+    def test_wall_clock_drift_warns_only(self, bench_compare, capsys):
+        base = self._snapshot({"b": {"ops_per_second": 100.0, "speedup": 2.0}})
+        pr = self._snapshot({"b": {"ops_per_second": 10.0, "speedup": 0.5}})
+        assert bench_compare.compare(pr, base, 0.25) == 0
+        out = capsys.readouterr().out
+        assert "warn" in out and "wall-clock" in out
+
+    def test_simulated_drift_fails(self, bench_compare, capsys):
+        base = self._snapshot({"b": {"sim_total_s": 1.0}})
+        pr = self._snapshot({"b": {"sim_total_s": 1.0001}})
+        assert bench_compare.compare(pr, base, 0.25) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_simulated_float_print_noise_tolerated(self, bench_compare):
+        base = self._snapshot({"b": {"sim_total_s": 1.0}})
+        pr = self._snapshot({"b": {"sim_total_s": 1.0 + 1e-12}})
+        assert bench_compare.compare(pr, base, 0.25) == 0
+
+    def test_dropped_simulated_column_fails(self, bench_compare, capsys):
+        base = self._snapshot({"b": {"sim_total_s": 1.0, "ops_per_second": 5.0}})
+        pr = self._snapshot({"b": {"ops_per_second": 5.0}})
+        assert bench_compare.compare(pr, base, 0.25) == 1
+        assert "dropped" in capsys.readouterr().out
+
+    def test_dropped_wall_column_warns_only(self, bench_compare, capsys):
+        base = self._snapshot({"b": {"sim_total_s": 1.0, "ops_per_second": 5.0}})
+        pr = self._snapshot({"b": {"sim_total_s": 1.0}})
+        assert bench_compare.compare(pr, base, 0.25) == 0
+        assert "warn" in capsys.readouterr().out
+
+    def test_wall_clock_benchmark_exempt_wholesale(self, bench_compare):
+        # The serving benchmark's whole record (even its SimClock total)
+        # tracks host speed: drift there must never fail the run.
+        base = self._snapshot({"serving_tail_latency": {"sim_total_s": 2.0}})
+        pr = self._snapshot({"serving_tail_latency": {"sim_total_s": 4.0}})
+        assert bench_compare.compare(pr, base, 0.25) == 0
+
+    def test_missing_benchmark_still_fails(self, bench_compare):
+        base = self._snapshot({"a": {"sim_total_s": 1.0}, "b": {"x": 1.0}})
+        pr = self._snapshot({"a": {"sim_total_s": 1.0}})
+        assert bench_compare.compare(pr, base, 0.25) == 1
+
+    def test_scale_mismatch_skips_numbers(self, bench_compare):
+        base = self._snapshot({"b": {"sim_total_s": 1.0}}, scale="default")
+        pr = self._snapshot({"b": {"sim_total_s": 99.0}}, scale="quick")
+        assert bench_compare.compare(pr, base, 0.25) == 0

@@ -3,9 +3,12 @@
 
 Builds a steady-state FLSM-tree with profiling enabled
 (``FLSMTree(config, profile=True)``), streams point-lookup batches
-through :meth:`LSMTree.get_batch`, and prints the per-stage wall-clock
+through :meth:`LSMTree.get_batch` and range batches through
+:meth:`LSMTree.range_scan_batch`, and prints the per-stage wall-clock
 breakdown collected by :class:`repro.lsm.readpath.ReadPathProfiler`
-(stages: memtable / search / bloom / cache) plus headline throughput.
+(point stages: memtable / search / bloom / cache; range stages:
+range_search / range_charge / range_gather / range_merge) plus headline
+throughput. Pass ``--range-batches 0`` to profile point lookups only.
 
 Stage timers measure *host* time only — profiling never touches the
 simulated clock, so the numbers here are about the reproduction's own
@@ -15,7 +18,8 @@ Usage::
 
     PYTHONPATH=src python scripts/profile_read_path.py \
         --policy tiering --n-records 50000 --batches 40 \
-        --batch-size 1024 --zipf --cache-pages 256
+        --batch-size 1024 --zipf --cache-pages 256 \
+        --range-batches 10 --range-batch-size 256 --range-span 200
 """
 
 from __future__ import annotations
@@ -74,6 +78,19 @@ def probe_batches(args, keys: np.ndarray) -> list[np.ndarray]:
     ]
 
 
+def range_batches(args, keys: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Inclusive ``(los, his)`` batches with mixed spans (incl. lo == hi)."""
+    domain = len(keys) * 4
+    rng = np.random.default_rng(args.seed + 2)
+    batches = []
+    for _ in range(args.range_batches):
+        los = rng.integers(0, domain, size=args.range_batch_size)
+        spans = rng.integers(0, max(1, args.range_span), size=args.range_batch_size)
+        spans[rng.random(args.range_batch_size) < 0.1] = 0
+        batches.append((los.astype(np.int64), (los + spans).astype(np.int64)))
+    return batches
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[1],
@@ -95,6 +112,20 @@ def main(argv=None) -> int:
         type=float,
         default=0.9,
         help="fraction of probes drawn from loaded keys (uniform mode)",
+    )
+    parser.add_argument(
+        "--range-batches",
+        type=int,
+        default=10,
+        help="range batches to stream after the point lookups (0 disables)",
+    )
+    parser.add_argument("--range-batch-size", type=int, default=256)
+    parser.add_argument(
+        "--range-span",
+        type=int,
+        default=200,
+        help="max inclusive range span (individual spans are uniform in "
+        "[0, span), 10%% forced to lo == hi)",
     )
     parser.add_argument("--seed", type=int, default=17)
     args = parser.parse_args(argv)
@@ -120,11 +151,28 @@ def main(argv=None) -> int:
         f"({n_ops / wall / 1e3:.1f} kops/s), {n_found} found, "
         f"sim={tree.clock_now:.4f}s"
     )
+
+    range_wall = 0.0
+    if args.range_batches:
+        started = time.perf_counter()
+        n_entries = 0
+        for los, his in range_batches(args, keys):
+            scanned, _, _ = tree.range_scan_batch(los, his)
+            n_entries += len(scanned)
+        range_wall = time.perf_counter() - started
+        n_ranges = args.range_batches * args.range_batch_size
+        print(
+            f"ranges: {n_ranges} ranges in {range_wall:.3f}s wall "
+            f"({n_ranges / range_wall / 1e3:.1f} krng/s), "
+            f"{n_entries} entries, sim={tree.clock_now:.4f}s"
+        )
+
     print()
     print(tree.read_profiler.format_report())
     instrumented = tree.read_profiler.total_seconds
     print(
-        f"\nuninstrumented residue: {(wall - instrumented) * 1e3:.2f} ms "
+        f"\nuninstrumented residue: "
+        f"{(wall + range_wall - instrumented) * 1e3:.2f} ms "
         "(dispatch, stats, pending-set bookkeeping)"
     )
     return 0

@@ -139,6 +139,13 @@ class RusKey:
         """All live entries with ``lo <= key <= hi``."""
         return self.engine.range_lookup(lo, hi)
 
+    def range_scan_batch(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized range lookups; returns flat ``(keys, values,
+        offsets)`` arrays (see :meth:`LSMTree.range_scan_batch`)."""
+        return self.engine.range_scan_batch(los, his)
+
     def bulk_load(
         self, keys: np.ndarray, values: np.ndarray, distribute: bool = False
     ) -> None:

@@ -87,6 +87,15 @@ class KVEngine(Protocol):
         """All live entries with ``lo <= key <= hi`` in key order."""
         ...
 
+    def range_scan_batch(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized range lookups; equivalent to per-range
+        :meth:`range_lookup` in order (same op counts and cost charging),
+        returning flat ``(keys, values, offsets)`` arrays where range
+        ``i``'s live entries are ``keys[offsets[i]:offsets[i + 1]]``."""
+        ...
+
     def bulk_load(
         self, keys: np.ndarray, values: np.ndarray, distribute: bool = False
     ) -> None:

@@ -28,15 +28,10 @@ def live_items(tree: LSMTree) -> "Tuple[np.ndarray, np.ndarray]":
             if run.n_entries:
                 key_arrays.append(run.keys)
                 value_arrays.append(run.values)
-    buffered = {k: v for k, v in tree.memtable.range_items(
-        np.iinfo(np.int64).min, np.iinfo(np.int64).max
-    ).items()}
-    if buffered:
-        mk = np.fromiter(buffered.keys(), dtype=np.int64, count=len(buffered))
-        mv = np.fromiter(buffered.values(), dtype=np.int64, count=len(buffered))
-        order = np.argsort(mk, kind="stable")
-        key_arrays.append(mk[order])
-        value_arrays.append(mv[order])
+    mk, mv = tree.memtable.sorted_view()
+    if len(mk):
+        key_arrays.append(mk)
+        value_arrays.append(mv)
     return merge_sorted_sources(key_arrays, value_arrays, drop_tombstones=True)
 
 

@@ -35,6 +35,7 @@ from repro.lsm.entry import TOMBSTONE, merge_sorted_sources, validate_value
 from repro.lsm.level import Level
 from repro.lsm.memtable import MemTable
 from repro.lsm.policy import CompactionPolicy, PolicyLike, resolve_policy
+from repro.lsm.rangepath import scan_batch
 from repro.lsm.readpath import ReadPathProfiler, perf_counter
 from repro.lsm.run import SortedRun
 from repro.lsm.stats import MissionStats, StatsCollector
@@ -618,6 +619,38 @@ class LSMTree:
         return merge_sorted_sources(
             key_arrays, value_arrays, drop_tombstones=True
         )
+
+    def range_scan_batch(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`range_lookup` over R inclusive ranges.
+
+        Counts R range operations and charges every probe/IO cost
+        **bit-identically** to R per-op scans in submission order (see
+        :mod:`repro.lsm.rangepath`), but resolves run segments once per
+        run per batch. Returns flat ``(keys, values, offsets)`` arrays:
+        range ``i``'s live entries, sorted by key, are
+        ``keys[offsets[i]:offsets[i + 1]]``.
+
+        Unlike the per-op loop — which raises on the first inverted range
+        *after* charging its predecessors — the whole batch is validated
+        up front, so a rejected batch charges nothing.
+        """
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        if los.shape != his.shape or los.ndim != 1:
+            raise ValueError(
+                f"los/his must be 1-d arrays of equal length, got "
+                f"{los.shape} vs {his.shape}"
+            )
+        bad = los > his
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                f"empty range: lo={int(los[i])} > hi={int(his[i])}"
+            )
+        self.stats.count_range(len(los))
+        return scan_batch(self, los, his)
 
     # ------------------------------------------------------------------
     # Policy control

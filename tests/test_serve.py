@@ -83,7 +83,12 @@ class TestRequestRouting:
             got = await_result(
                 server, Request(REQ_RANGE, 50, span=20, wait=True)
             )
-            assert got == direct.range_lookup(50, 69)
+            # Range results are (keys, values) array pairs, sorted by key.
+            got_keys, got_values = got
+            assert (
+                list(zip(got_keys.tolist(), got_values.tolist()))
+                == direct.range_lookup(50, 69)
+            )
 
     def test_delete_then_put_in_one_batch_keeps_put(self):
         """Puts and deletes preserve their relative submission order

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""CI smoke for the telemetry subsystem (DESIGN.md §12).
+
+Runs the same short tuned, sharded workload twice — once with every
+telemetry layer enabled (metrics collection, serve-path tracing, decision
+audit) and once bare — and asserts the **zero-sim-impact contract**:
+every simulated observable is bit-identical between the twins. Then
+exercises the observable surface of the instrumented twin end to end:
+
+* the Prometheus exposition parses and carries the engine families;
+* the JSON exposition round-trips through ``json``;
+* the sampled span export is valid JSONL with nested engine spans;
+* the audit log is non-empty and renders as a decision timeline;
+* registry + audit survive a ``save_obs``/``load_obs`` round trip and
+  the registry merge is exact across shard-labeled series.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.lerp import LerpConfig  # noqa: E402
+from repro.core.ruskey import RusKey  # noqa: E402
+from repro.obs import (  # noqa: E402
+    DecisionAuditLog,
+    MetricsRegistry,
+    Tracer,
+    collect_store_metrics,
+    format_decision_timeline,
+    parse_prometheus_text,
+)
+from repro.persist import load_obs, save_obs  # noqa: E402
+from repro.workload import UniformWorkload  # noqa: E402
+
+N_MISSIONS = 10
+MISSION_SIZE = 500
+
+
+def run_twin(instrumented: bool):
+    """One short tuned run; returns (store, tracer, audit)."""
+    workload = UniformWorkload(n_records=5000, lookup_fraction=0.5, seed=11)
+    store = RusKey(n_shards=2, lerp_config=LerpConfig(burn_in_missions=1))
+    tracer = audit = None
+    if instrumented:
+        tracer = Tracer(sample_every=3)
+        store.engine.set_tracer(tracer)
+        audit = DecisionAuditLog()
+        store.attach_audit(audit)
+    keys, values = workload.load_records()
+    store.bulk_load(keys, values)
+    for mission in workload.missions(N_MISSIONS, MISSION_SIZE):
+        store.run_mission(mission)
+    return store, tracer, audit
+
+
+def simulated_fingerprint(store) -> dict:
+    """Every simulated observable a telemetry layer could have perturbed."""
+    io = store.engine.io_counters
+    return {
+        "clock_now": store.engine.clock_now,
+        "total_entries": store.engine.total_entries,
+        "cache_hits": store.engine.cache_hits,
+        "cache_misses": store.engine.cache_misses,
+        "io": (io.random_reads, io.random_writes, io.seq_reads, io.seq_writes),
+        "latencies": store.latency_series().tolist(),
+        "sim_times": [m.total_time for m in store.mission_log],
+        "policy_history": store.policy_history,
+        "policies": store.policies(),
+    }
+
+
+def main() -> int:
+    bare, _, _ = run_twin(instrumented=False)
+    inst, tracer, audit = run_twin(instrumented=True)
+
+    # --- 1. bit-identity twin check -----------------------------------
+    fp_bare = simulated_fingerprint(bare)
+    fp_inst = simulated_fingerprint(inst)
+    for key in fp_bare:
+        assert fp_bare[key] == fp_inst[key], (
+            f"telemetry perturbed simulated observable {key!r}:\n"
+            f"  bare: {fp_bare[key]!r}\n  inst: {fp_inst[key]!r}"
+        )
+    print(f"ok: {len(fp_bare)} simulated observables bit-identical "
+          f"(clock={fp_inst['clock_now']:.6f}s)")
+
+    # --- 2. exposition ------------------------------------------------
+    registry = collect_store_metrics(inst)
+    prom = registry.render("prometheus")
+    parsed = parse_prometheus_text(prom)
+    for family in ("repro_sim_clock_seconds", "repro_ops",
+                   "repro_engine_entries", "repro_missions"):
+        assert family in parsed["types"], f"missing family {family}"
+    clock_samples = [
+        value for (name, _), value in parsed["samples"].items()
+        if name == "repro_sim_clock_seconds"
+    ]
+    assert abs(sum(clock_samples) - fp_inst["clock_now"]) < 1e-9
+    json.loads(registry.render("json"))
+    print(f"ok: prometheus exposition parses "
+          f"({len(parsed['samples'])} samples), json renders")
+
+    # --- 3. spans -----------------------------------------------------
+    assert tracer.roots_seen > 0 and tracer.roots_kept > 0
+    with tempfile.TemporaryDirectory() as tmp:
+        span_path = str(pathlib.Path(tmp) / "spans.jsonl")
+        written = tracer.export_jsonl(span_path)
+        names = set()
+        with open(span_path) as fh:
+            for line in fh:
+                root = json.loads(line)
+                names.add(root["name"])
+                for child in root.get("children", ()):
+                    names.add(child["name"])
+        assert written > 0
+        assert any(n.startswith("store.") for n in names), names
+        assert any(n.startswith("lsm.") for n in names), names
+        print(f"ok: {written} sampled span trees exported "
+              f"({tracer.roots_kept}/{tracer.roots_seen} roots kept)")
+
+        # --- 4. audit + timeline -------------------------------------
+        assert audit is not None and len(audit) > 0
+        timeline = format_decision_timeline(audit)
+        assert "level_action" in timeline or "policy_action" in timeline
+        print(f"ok: audit log carries {len(audit)} decision events")
+
+        # --- 5. persistence round trip -------------------------------
+        obs_path = str(pathlib.Path(tmp) / "obs.ckpt")
+        save_obs(obs_path, registry=registry, audit=audit)
+        registry2, audit2 = load_obs(obs_path)
+        assert registry2.render("prometheus") == prom
+        assert len(audit2) == len(audit)
+        assert audit2.events[-1].state_dict() == audit.events[-1].state_dict()
+        print("ok: registry + audit survive save_obs/load_obs")
+
+    # --- 6. merge exactness over shard parts --------------------------
+    merged = MetricsRegistry.merged(
+        [collect_store_metrics(inst), MetricsRegistry()]
+    )
+    assert merged.render("prometheus") == prom
+    print("ok: registry merge with identity is exact")
+
+    print("obs smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -190,6 +190,16 @@ class Lerp(Tuner):
         )
         self._policy_stage_missions = 0
         self.policy_converged = False
+        # --- decision audit (repro.obs.audit) -----------------------------
+        #: Optional :class:`~repro.obs.audit.DecisionAuditLog`. ``None``
+        #: (the default) keeps every audit site a single attribute check.
+        #: Events are emitted inside the ``observe_mission`` wall timer, so
+        #: their cost lands in host ``model_update_time`` and no simulated
+        #: observable moves (the zero-sim-impact contract, DESIGN.md §12).
+        self.audit = None
+        #: Missions observed so far — the audit events' mission index,
+        #: aligned with the controller's per-mission ``policy_history``.
+        self.missions_observed = 0
 
     # ------------------------------------------------------------------
     # Agent plumbing
@@ -240,6 +250,22 @@ class Lerp(Tuner):
         return agent.epsilon <= agent.config.epsilon_min + 1e-9
 
     # ------------------------------------------------------------------
+    # Decision audit (repro.obs.audit)
+    # ------------------------------------------------------------------
+    def attach_audit(self, audit) -> None:
+        """Attach a :class:`repro.obs.audit.DecisionAuditLog` (``None``
+        detaches). Every subsequent decision — arm picks, ΔK moves, stage
+        and policy commits, propagation, exploration restarts — is
+        recorded with its context (ε/σ, reward, window stats)."""
+        self.audit = audit
+
+    def _audit(self, kind: str, **data: object) -> None:
+        """Record one decision event; a no-op without an attached log."""
+        if self.audit is not None:
+            mission = self.missions_observed - 1
+            self.audit.record(kind, mission if mission >= 0 else None, **data)
+
+    # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
     def observe_mission(self, tree: LSMTree, mission: MissionStats) -> None:
@@ -252,10 +278,11 @@ class Lerp(Tuner):
             self.total_model_update_s += elapsed
 
     def _observe(self, tree: LSMTree, mission: MissionStats) -> None:
+        self.missions_observed += 1
         ops = max(1, mission.n_operations)
         self._scale.update(mission.total_time / ops)
         if self.detector.observe(mission.lookup_fraction):
-            self._restart()
+            self._restart(reason="detector")
         if tree.n_levels == 0:
             return
         burning_in = self._burn_in_left > 0
@@ -285,6 +312,12 @@ class Lerp(Tuner):
             if tree.level(stage_level).policy != learned:
                 tree.set_policy(stage_level, learned, self.config.transition)
             self._learned.append(learned)
+            self._audit(
+                "stage_commit",
+                level=stage_level,
+                k=learned,
+                stage_missions=self._stage_missions,
+            )
             self._stage_idx += 1
             self._k_history.clear()
             self._stage_missions = 0
@@ -338,8 +371,20 @@ class Lerp(Tuner):
             for _ in range(cfg.updates_per_mission):
                 agent.update()
         action = agent.act(state, explore=True)
-        if action != current:
+        switched = action != current
+        if switched:
             tree.set_named_policy(policy_from_index(action), cfg.transition)
+        self._audit(
+            "policy_action",
+            arm=POLICY_NAMES[action],
+            previous=POLICY_NAMES[current],
+            switched=switched,
+            epsilon=float(agent.epsilon),
+            reward=None if previous is None else float(reward),
+            e2e_latency=float(e2e),
+            lookup_fraction=float(mission.lookup_fraction),
+            window=len(self._policy_history),
+        )
         self._policy_last = (state, action)
         agent.decay_epsilon()
         self._policy_history.append(action)
@@ -382,6 +427,14 @@ class Lerp(Tuner):
             )
         self.policy_converged = True
         self.converged = True
+        self._audit(
+            "policy_commit",
+            arm=POLICY_NAMES[best],
+            arm_means={
+                POLICY_NAMES[action]: mean for action, mean in arms.items()
+            },
+            stage_missions=self._policy_stage_missions,
+        )
 
     # ------------------------------------------------------------------
     # Per-level tuning step
@@ -432,6 +485,18 @@ class Lerp(Tuner):
         )
         if new_policy != level.policy:
             tree.set_policy(level_no, new_policy, cfg.transition)
+        self._audit(
+            "level_action",
+            level=level_no,
+            delta=int(delta),
+            k=new_policy,
+            sigma=(
+                float(agent.noise.sigma)
+                if isinstance(agent, DDPGAgent)
+                else float(agent.epsilon)
+            ),
+            reward=float(reward),
+        )
         self._last[level_no] = (state, raw)
         if isinstance(agent, DDPGAgent):
             agent.decay_noise()
@@ -518,6 +583,11 @@ class Lerp(Tuner):
                 tree.set_policy(level_no, policy, self.config.transition)
         self._propagated = policies
         self.converged = True
+        self._audit(
+            "propagate",
+            learned=list(self._learned),
+            policies=list(policies),
+        )
 
     def _maintain_converged(self, tree: LSMTree) -> None:
         """Keep newly created levels on the propagated profile."""
@@ -531,8 +601,14 @@ class Lerp(Tuner):
             if tree.level(level_no).policy != want:
                 tree.set_policy(level_no, want, self.config.transition)
 
-    def _restart(self) -> None:
+    def _restart(self, reason: str = "detector") -> None:
         """Re-enter tuning after a workload shift (paper Section 3.1)."""
+        self._audit(
+            "restart",
+            reason=reason,
+            prior_restarts=self.restarts,
+            was_converged=self.converged,
+        )
         self.converged = False
         self._stage_idx = 0
         self._stage_missions = 0
@@ -564,7 +640,7 @@ class Lerp(Tuner):
         self._agents.clear()
         self._joint_agent = None
         self._policy_agent = None
-        self._restart()
+        self._restart(reason="reset")
         self.restarts = 0
         self.detector.reset()
         self._scale = RunningScale(alpha=self.config.scale_alpha)
@@ -635,6 +711,8 @@ class Lerp(Tuner):
             "converged": self.converged,
             "restarts": self.restarts,
             "total_model_update_s": self.total_model_update_s,
+            "missions_observed": self.missions_observed,
+            "audit": None if self.audit is None else self.audit.state_dict(),
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
@@ -714,6 +792,13 @@ class Lerp(Tuner):
         self.converged = bool(state["converged"])
         self.restarts = int(state["restarts"])
         self.total_model_update_s = float(state["total_model_update_s"])
+        # Audit keys are absent in pre-telemetry snapshots.
+        self.missions_observed = int(state.get("missions_observed", 0))
+        audit_state = state.get("audit")
+        if audit_state is not None:
+            from repro.obs.audit import DecisionAuditLog
+
+            self.audit = DecisionAuditLog.from_state_dict(audit_state)
         # Last: continue the exploration / sampling draw sequence exactly.
         self._rng.bit_generator.state = state["rng"]
 
@@ -732,7 +817,7 @@ class Lerp(Tuner):
             raise RLError(
                 f"exploration_scale must be > 0, got {exploration_scale}"
             )
-        self._restart()
+        self._restart(reason="warm_start")
         self.restarts = 0
         self.detector.reset()
         extra = [

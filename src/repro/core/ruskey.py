@@ -171,6 +171,17 @@ class RusKey:
         self.engine.apply_named_policy(policy, transition)
 
     # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+    def attach_audit(self, audit) -> None:
+        """Attach one :class:`repro.obs.audit.DecisionAuditLog` to every
+        distinct tuner (a shared tuner instance is attached once). Audit
+        recording is host-side only — simulated results are bit-identical
+        with or without it (DESIGN.md §12)."""
+        for tuner in dict.fromkeys(self.tuners):
+            tuner.attach_audit(audit)
+
+    # ------------------------------------------------------------------
     # Mission loop
     # ------------------------------------------------------------------
     def run_mission(self, mission: Mission) -> MissionStats:

@@ -35,6 +35,15 @@ class Tuner:
     def reset(self) -> None:
         """Forget any adaptive state (between experiment repetitions)."""
 
+    def attach_audit(self, audit) -> None:
+        """Attach a :class:`repro.obs.audit.DecisionAuditLog`.
+
+        The non-RL baselines make no decisions worth auditing, so the base
+        hook is a no-op; :class:`repro.core.lerp.Lerp` overrides it and
+        records every arm pick, ΔK move, commit and restart.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Snapshot hooks (see repro.persist)
     # ------------------------------------------------------------------

@@ -143,6 +143,14 @@ class KVEngine(Protocol):
         (leveling / tiering / lazy-leveling) via ``transition``."""
         ...
 
+    # -- observability --------------------------------------------------
+    def set_tracer(self, tracer: object) -> None:
+        """Attach (or detach with ``None``) a :class:`repro.obs.trace.Tracer`
+        to the engine's batch entry points. Tracing is host-wall-clock
+        observation only — it must leave every simulated observable
+        bit-identical (the zero-sim-impact contract, DESIGN.md §12)."""
+        ...
+
     # -- persistence ----------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
         """Full serializable snapshot of the engine (between missions).

@@ -85,7 +85,9 @@ def merge_mission_stats(
     close at (nearly) the same host instants — they are *concurrent* in
     wall time — so the store-level window spans their maximum, and the
     merged record's ``ops_per_second`` is the store's aggregate wall
-    throughput.
+    throughput. The summed thread-time is kept separately in
+    ``wall_duration_sum`` (see :class:`MissionStats`), so both aggregation
+    semantics are explicit and the merge stays associative in both.
     """
     return MissionStats(
         index=index,
@@ -102,6 +104,7 @@ def merge_mission_stats(
         cache_hits=sum(p.cache_hits for p in parts),
         cache_misses=sum(p.cache_misses for p in parts),
         wall_duration=max((p.wall_duration for p in parts), default=0.0),
+        wall_duration_sum=sum(p.wall_duration_sum for p in parts),
     )
 
 
@@ -198,6 +201,17 @@ class ShardedStore:
         self._stats = AggregatedStats([s.stats for s in self.shards])
         self._mission_index = 0
         self._last_breakdown: List[MissionStats] = []
+        #: Optional span tracer (see :meth:`set_tracer`); store-level spans
+        #: parent the per-shard ``lsm.*`` spans opened on the same thread.
+        self.tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with ``None``) a span tracer to this store
+        *and* every shard tree, so a store-level batch span nests the
+        per-shard spans it fans out to."""
+        self.tracer = tracer
+        for shard in self.shards:
+            shard.set_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Routing
@@ -249,6 +263,14 @@ class ShardedStore:
             raise ValueError("keys and values must have equal length")
         if len(keys) == 0:
             return
+        tracer = self.tracer
+        if tracer is None:
+            self._put_batch_impl(keys, values)
+            return
+        with tracer.span("store.put_batch", n_keys=len(keys)):
+            self._put_batch_impl(keys, values)
+
+    def _put_batch_impl(self, keys: np.ndarray, values: np.ndarray) -> None:
         if self.n_shards == 1:
             self.shards[0].put_batch(keys, values)
             return
@@ -265,6 +287,15 @@ class ShardedStore:
         values = np.zeros(n, dtype=np.int64)
         if n == 0:
             return found, values
+        tracer = self.tracer
+        if tracer is None:
+            return self._get_batch_impl(keys, found, values)
+        with tracer.span("store.get_batch", n_keys=n):
+            return self._get_batch_impl(keys, found, values)
+
+    def _get_batch_impl(
+        self, keys: np.ndarray, found: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         if self.n_shards == 1:
             return self.shards[0].get_batch(keys)
         for s, idx in self._shard_groups(keys):
@@ -330,6 +361,15 @@ class ShardedStore:
         n_ranges = len(los)
         if n_ranges == 0:
             return empty_batch_result(0)
+        tracer = self.tracer
+        if tracer is None:
+            return self._range_scan_batch_impl(los, his, n_ranges)
+        with tracer.span("store.range_scan_batch", n_ranges=n_ranges):
+            return self._range_scan_batch_impl(los, his, n_ranges)
+
+    def _range_scan_batch_impl(
+        self, los: np.ndarray, his: np.ndarray, n_ranges: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         homes = np.bincount(shard_of(los, self.n_shards), minlength=self.n_shards)
         for s in range(self.n_shards):
             if homes[s]:

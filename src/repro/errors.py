@@ -68,3 +68,9 @@ class SnapshotError(ReproError):
 class ServeError(ReproError):
     """The serving layer was used out of order (submitting to a stopped
     server, starting a running one, malformed requests)."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misused (duplicate metric registration
+    with a different shape, wrong label set, label-cardinality overflow,
+    malformed exposition text)."""

@@ -43,9 +43,23 @@ class MissionStats:
     model_update_time: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
-    #: Host wall-clock seconds the window spanned (measurement, not
+    #: Host wall-clock seconds the window *spanned* (measurement, not
     #: simulation — excluded from snapshots like ``model_update_time``).
+    #: For a record merged across shards this is the **max** over the
+    #: per-shard windows: shard windows are opened and closed together, so
+    #: they are concurrent in wall time and the span is the widest one.
     wall_duration: float = 0.0
+    #: Host wall-clock seconds *summed* over the merged parts (equals
+    #: ``wall_duration`` for a leaf window). This is the total thread-time
+    #: denominator — use it for per-shard cost accounting; use
+    #: :attr:`wall_duration_max` for elapsed-time throughput.
+    wall_duration_sum: float = 0.0
+
+    @property
+    def wall_duration_max(self) -> float:
+        """Explicit alias for the merge semantics of :attr:`wall_duration`
+        (max over concurrent per-shard windows; the window span)."""
+        return self.wall_duration
 
     @property
     def n_operations(self) -> int:
@@ -56,8 +70,14 @@ class MissionStats:
         """Wall-clock throughput of the window: operations per host
         second (0.0 when the window spanned no measurable wall time).
         This is the shared metrics vocabulary between the offline harness
-        and the serving layer — both report per-window ops/s from here."""
-        return self.n_operations / self.wall_duration if self.wall_duration else 0.0
+        and the serving layer — both report per-window ops/s from here.
+
+        Uses :attr:`wall_duration_max` (the elapsed window span), not
+        :attr:`wall_duration_sum`: per-shard windows are concurrent, so
+        dividing by summed thread-time would under-report throughput by
+        roughly the shard count."""
+        wall = self.wall_duration_max
+        return self.n_operations / wall if wall else 0.0
 
     @property
     def sim_ops_per_second(self) -> float:
@@ -100,10 +120,11 @@ class MissionStats:
     def state_dict(self) -> Dict[str, object]:
         """Serializable snapshot of one mission record.
 
-        ``wall_duration`` is deliberately *not* serialized: like
-        ``model_update_time`` it measures host wall-clock, which cannot be
-        bit-exact across a save/restore boundary — restored records report
-        0.0 (see the bit-exact-resume invariant, DESIGN.md §6).
+        ``wall_duration`` / ``wall_duration_sum`` are deliberately *not*
+        serialized: like ``model_update_time`` they measure host
+        wall-clock, which cannot be bit-exact across a save/restore
+        boundary — restored records report 0.0 (see the bit-exact-resume
+        invariant, DESIGN.md §6).
         """
         return {
             "index": self.index,
@@ -210,6 +231,7 @@ class StatsCollector:
         mission.cache_hits = int(cache_hits) - self._cache_snapshot[0]
         mission.cache_misses = int(cache_misses) - self._cache_snapshot[1]
         mission.wall_duration = time.perf_counter() - self._wall_snapshot
+        mission.wall_duration_sum = mission.wall_duration
         self.completed.append(mission)
         self._mission_index += 1
         self._current = None

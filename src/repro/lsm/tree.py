@@ -61,6 +61,11 @@ class LSMTree:
         self.read_profiler: Optional[ReadPathProfiler] = (
             ReadPathProfiler() if profile else None
         )
+        #: Optional :class:`repro.obs.trace.Tracer` wrapping the batch
+        #: entry points in wall-clock spans (attach via :meth:`set_tracer`).
+        #: Same contract as the profiler: host-clock only, zero simulated
+        #: impact, one ``is None`` test per batch when disabled.
+        self.tracer = None
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else StatsCollector()
         self.cache = LRUBlockCache(config.block_cache_pages)
@@ -79,6 +84,29 @@ class LSMTree:
         #: :mod:`repro.lsm.policy`); any explicit per-level
         #: :meth:`set_policy` drops the pin.
         self.compaction_policy: Optional[CompactionPolicy] = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with ``None``) a span tracer to the batch
+        read/write entry points. ``ReadPathProfiler`` stage timers, when
+        profiling is on, are absorbed as synthetic child spans."""
+        self.tracer = tracer
+
+    def _profile_snapshot(self) -> Optional[Dict[str, float]]:
+        """Per-stage profiler totals before a traced call (None when
+        profiling is off)."""
+        prof = self.read_profiler
+        return None if prof is None else dict(prof.seconds)
+
+    def _absorb_profile(self, tracer, span, before) -> None:
+        """Emit each profiler stage's delta across the traced call as a
+        synthetic ``stage.<name>`` child span."""
+        prof = self.read_profiler
+        if prof is None or before is None:
+            return
+        for stage, total in prof.seconds.items():
+            delta = total - before[stage]
+            if delta > 0.0:
+                tracer.add_child(span, f"stage.{stage}", delta)
 
     # ------------------------------------------------------------------
     # Structure management
@@ -249,6 +277,16 @@ class LSMTree:
                 f"use a value other than {TOMBSTONE}"
             )
         self.stats.count_update(n)
+        tracer = self.tracer
+        if tracer is None:
+            self._put_batch_impl(keys, values, n)
+            return
+        with tracer.span("lsm.put_batch", n_keys=n):
+            self._put_batch_impl(keys, values, n)
+
+    def _put_batch_impl(
+        self, keys: np.ndarray, values: np.ndarray, n: int
+    ) -> None:
         start = 0
         while start < n:
             start += self.memtable.put_batch(keys[start:], values[start:])
@@ -421,6 +459,18 @@ class LSMTree:
         keys = np.asarray(keys, dtype=np.int64)
         n = len(keys)
         self.stats.count_lookup(n)
+        tracer = self.tracer
+        if tracer is None:
+            return self._get_batch_impl(keys, n)
+        before = self._profile_snapshot()
+        with tracer.span("lsm.get_batch", n_keys=n) as span:
+            result = self._get_batch_impl(keys, n)
+            self._absorb_profile(tracer, span, before)
+        return result
+
+    def _get_batch_impl(
+        self, keys: np.ndarray, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         prof = self.read_profiler
         if prof is not None:
             prof.note_batch(n)
@@ -650,7 +700,14 @@ class LSMTree:
                 f"empty range: lo={int(los[i])} > hi={int(his[i])}"
             )
         self.stats.count_range(len(los))
-        return scan_batch(self, los, his)
+        tracer = self.tracer
+        if tracer is None:
+            return scan_batch(self, los, his)
+        before = self._profile_snapshot()
+        with tracer.span("lsm.range_scan_batch", n_ranges=len(los)) as span:
+            result = scan_batch(self, los, his)
+            self._absorb_profile(tracer, span, before)
+        return result
 
     # ------------------------------------------------------------------
     # Policy control

@@ -1,0 +1,191 @@
+"""Span-based wall-clock tracing for the serve → engine → tree path.
+
+A :class:`Tracer` records *spans* — named wall-clock intervals with
+attributes — nested via a per-thread stack, so a serving batch produces a
+tree like::
+
+    serve.batch
+    └── serve.get_batch
+        └── store.get_batch
+            └── lsm.get_batch
+                ├── stage.bloom      (absorbed from ReadPathProfiler)
+                └── stage.search
+
+Design constraints (the PR 6/7 invariant):
+
+* **Zero simulated impact.** The tracer reads ``time.perf_counter`` only.
+  It never charges the :class:`~repro.storage.simclock.SimClock`, never
+  draws from any RNG (sampling is a deterministic counter, not a coin
+  flip), and never touches engine counters — instrumented-on and
+  instrumented-off runs are bit-identical in every simulated observable
+  (``tests/test_obs.py`` checks this with a twin run).
+* **Near-zero cost when absent.** Instrumented call sites hold the tracer
+  in a local and skip everything on ``None`` — one attribute load and one
+  ``is None`` test per batch, the same idiom ``ReadPathProfiler`` uses.
+
+Threading: the span stack is ``threading.local`` (each serving lane
+thread nests its own spans); finished *root* spans land in one bounded,
+lock-guarded buffer. Sampling keeps every ``sample_every``-th root span
+(children ride along with their root).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ObsError
+
+#: Default bound on retained root spans (oldest evicted first).
+DEFAULT_MAX_SPANS = 4096
+
+
+class Span:
+    """One named wall-clock interval with attributes and child spans."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children", "synthetic")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        attrs: Optional[Dict[str, object]] = None,
+        synthetic: bool = False,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end = start
+        self.attrs: Dict[str, object] = attrs or {}
+        self.children: List[Span] = []
+        self.synthetic = synthetic
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds the span covered (0.0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able view (durations in seconds, start relative to the
+        process ``perf_counter`` epoch)."""
+        record: Dict[str, object] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.synthetic:
+            record["synthetic"] = True
+        if self.children:
+            record["children"] = [c.as_dict() for c in self.children]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Collects nested spans with deterministic every-Nth root sampling."""
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        if sample_every < 1:
+            raise ObsError(f"sample_every must be >= 1, got {sample_every}")
+        if max_spans < 1:
+            raise ObsError(f"max_spans must be >= 1, got {max_spans}")
+        self.sample_every = int(sample_every)
+        self._local = threading.local()
+        self._finished: "deque[Span]" = deque(maxlen=int(max_spans))
+        self._lock = threading.Lock()
+        self._root_seen = 0
+        self._root_kept = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span around the ``with`` body. Nested calls on the same
+        thread become children; the root decides (deterministically)
+        whether the whole tree is kept."""
+        stack = self._stack()
+        span = Span(name, perf_counter(), attrs or None)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = perf_counter()
+            stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self._finish_root(span)
+
+    def _finish_root(self, root: Span) -> None:
+        with self._lock:
+            index = self._root_seen
+            self._root_seen += 1
+            if index % self.sample_every == 0:
+                self._root_kept += 1
+                self._finished.append(root)
+
+    def add_child(
+        self, parent: Span, name: str, duration: float, **attrs: object
+    ) -> Span:
+        """Attach a synthetic child span of known ``duration`` — used to
+        absorb :class:`~repro.lsm.readpath.ReadPathProfiler` stage deltas
+        as children of the enclosing tree-level span."""
+        child = Span(name, parent.start, attrs or None, synthetic=True)
+        child.end = parent.start + max(0.0, float(duration))
+        parent.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    @property
+    def roots_seen(self) -> int:
+        """Root spans opened so far (kept or sampled away)."""
+        return self._root_seen
+
+    @property
+    def roots_kept(self) -> int:
+        """Root spans retained by sampling (before buffer eviction)."""
+        return self._root_kept
+
+    def spans(self) -> List[Span]:
+        """Retained root spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        """Drop retained spans and restart the sampling counter."""
+        with self._lock:
+            self._finished.clear()
+            self._root_seen = 0
+            self._root_kept = 0
+
+    def export_jsonl(self, path: str) -> int:
+        """Write retained root spans (with their subtrees) as one JSON
+        object per line; returns the number of spans written."""
+        roots = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for root in roots:
+                handle.write(json.dumps(root.as_dict()) + "\n")
+        return len(roots)

@@ -88,6 +88,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the full static-vs-Lerp × 1-vs-4-shard grid and print "
         "the benchmark report",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace the serve path (sampled spans) and export JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="keep every Nth serve.batch root span (default 16)",
+    )
+    parser.add_argument(
+        "--audit",
+        default=None,
+        metavar="PATH",
+        help="record the tuners' decision audit log and export JSONL to "
+        "PATH (Lerp-tuned runs only produce events)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.shards < 1:
@@ -133,6 +153,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         static_policy=args.static_policy,
     )
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(sample_every=max(1, args.trace_every))
+        server.tracer = tracer
+        server.engine.set_tracer(tracer)
+    audit = None
+    if args.audit:
+        from repro.obs.audit import DecisionAuditLog
+
+        audit = DecisionAuditLog()
+        for tuner in dict.fromkeys(server.tuners):
+            if hasattr(tuner, "attach_audit"):
+                tuner.attach_audit(audit)
     tenant = TenantSpec(
         name="cli",
         workload=workload,
@@ -176,6 +211,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"last window: {last.stats.n_operations} ops, "
             f"{last.stats.ops_per_second:,.0f} ops/s wall, "
             f"policies {last.policies}"
+        )
+    if tracer is not None:
+        written = tracer.export_jsonl(args.trace)
+        print(
+            f"traced {tracer.roots_seen} serve batches, kept "
+            f"{tracer.roots_kept}, wrote {written} spans to {args.trace}",
+            file=sys.stderr,
+        )
+    if audit is not None:
+        written = audit.export_jsonl(args.audit)
+        print(
+            f"wrote {written} decision audit events to {args.audit}",
+            file=sys.stderr,
         )
     return 0
 

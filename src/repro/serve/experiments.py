@@ -353,14 +353,14 @@ def format_serving_report(
     lines.append(header)
     lines.append("-" * len(header))
     for name, run in runs.items():
-        hist = run.report.histogram
-        p = hist.percentiles((50.0, 99.0, 99.9))
+        # One source for key naming and ms scaling: the histogram itself.
+        p = run.report.histogram.percentile_summary((50.0, 99.0, 99.9))
         lines.append(
             f"{name:>24} | {run.report.throughput:9,.0f} | "
             f"{run.report.offered_rate:9,.0f} | "
             f"{run.report.drop_fraction * 100:7.2f} | "
             f"{run.report.mean_queue_depth:7.1f} | "
-            f"{p[50.0] * 1e3:8.3f} | {p[99.0] * 1e3:8.3f} | "
-            f"{p[99.9] * 1e3:8.3f} | {run.n_windows:7d}"
+            f"{p['p50_ms']:8.3f} | {p['p99_ms']:8.3f} | "
+            f"{p['p999_ms']:8.3f} | {run.n_windows:7d}"
         )
     return "\n".join(lines)

@@ -249,17 +249,94 @@ class LatencyHistogram:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile_key(point: float) -> str:
+        """``50.0 -> "p50"``, ``99.9 -> "p999"`` — the benchmark metrics
+        vocabulary (``p50_ms`` / ``p99_ms`` / ``p999_ms``)."""
+        text = f"{point:g}".replace(".", "")
+        return f"p{text}"
+
+    def percentile_summary(
+        self,
+        points: Sequence[float] = (50.0, 99.0, 99.9),
+        unit: str = "ms",
+    ) -> Dict[str, float]:
+        """Named percentile estimates, scaled to ``unit``.
+
+        Returns ``{"p50_ms": ..., "p99_ms": ..., "p999_ms": ...}`` — the
+        single source of the p-latency columns emitted by the serving
+        experiments and benchmarks, so the key naming and unit scaling
+        live in one place.
+        """
+        try:
+            scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+        except KeyError:
+            raise ValueError(f"unit must be s, ms or us, got {unit!r}")
+        return {
+            f"{self._percentile_key(p)}_{unit}": self.quantile(p / 100.0) * scale
+            for p in points
+        }
+
+    def render(
+        self,
+        points: Sequence[float] = (50.0, 95.0, 99.0, 99.9),
+        unit: str = "ms",
+    ) -> str:
+        """One-line ``p50=...ms p95=...ms ...`` rendering of ``points``."""
+        try:
+            scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+        except KeyError:
+            raise ValueError(f"unit must be s, ms or us, got {unit!r}")
+        return " ".join(
+            f"p{p:g}={self.quantile(p / 100.0) * scale:.3f}{unit}"
+            for p in points
+        )
+
     def summary(self) -> str:
         """One-line ``count/mean/p50/p95/p99/p99.9/max`` summary (ms)."""
         if self.count == 0:
             return "no samples"
-        p = self.percentiles()
         return (
             f"n={self.count} mean={self.mean * 1e3:.3f}ms "
-            f"p50={p[50.0] * 1e3:.3f}ms p95={p[95.0] * 1e3:.3f}ms "
-            f"p99={p[99.0] * 1e3:.3f}ms p99.9={p[99.9] * 1e3:.3f}ms "
-            f"max={self.max_seen * 1e3:.3f}ms"
+            f"{self.render()} max={self.max_seen * 1e3:.3f}ms"
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (used by the obs metrics registry)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot (primitives + one numpy array)."""
+        return {
+            "min_latency": self.min_latency,
+            "max_latency": self.max_latency,
+            "buckets_per_decade": self.buckets_per_decade,
+            "counts": self.counts.copy(),
+            "count": self.count,
+            "sum": self.sum,
+            "min_seen": self.min_seen,
+            "max_seen": self.max_seen,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`state_dict` output."""
+        hist = cls(
+            float(state["min_latency"]),
+            float(state["max_latency"]),
+            int(state["buckets_per_decade"]),
+        )
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != hist.counts.shape:
+            raise ConfigError(
+                f"histogram state has {counts.shape[0]} buckets, "
+                f"expected {hist.n_buckets}"
+            )
+        hist.counts = counts.copy()
+        hist.count = int(state["count"])
+        hist.sum = float(state["sum"])
+        hist.min_seen = float(state["min_seen"])
+        hist.max_seen = float(state["max_seen"])
+        return hist
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LatencyHistogram({self.summary()})"

@@ -195,6 +195,7 @@ class KVServer:
         max_batch: int = 512,
         window_ops: int = 0,
         histogram_factory: Callable[[], LatencyHistogram] = LatencyHistogram,
+        tracer=None,
     ) -> None:
         if queue_capacity < 1:
             raise ConfigError(f"queue_capacity must be >= 1, got {queue_capacity}")
@@ -203,6 +204,15 @@ class KVServer:
         if window_ops < 0:
             raise ConfigError(f"window_ops must be >= 0, got {window_ops}")
         self.engine = engine
+        #: Optional :class:`repro.obs.trace.Tracer`. When set, every served
+        #: batch opens a ``serve.batch`` root span and the engine's own
+        #: batch spans (``store.*`` / ``lsm.*``, plus the read-path
+        #: profiler's synthetic ``stage.*`` children) nest beneath it via
+        #: the tracer's thread-local span stack. Host-wall-clock only —
+        #: simulated observables stay bit-identical (DESIGN.md §12).
+        self.tracer = tracer
+        if tracer is not None:
+            engine.set_tracer(tracer)
         targets = list(engine.tuning_targets())
         self.lanes = [
             _Lane(i, tree, queue_capacity, max_batch, histogram_factory)
@@ -373,6 +383,18 @@ class KVServer:
         run.clear()
 
     def _serve_batch(self, lane: _Lane, batch: List[Request]) -> None:
+        """Serve one drained batch (``serve.batch`` root span when a
+        tracer is attached; see :meth:`_serve_batch_impl` for semantics).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._serve_batch_impl(lane, batch)
+        with tracer.span(
+            "serve.batch", lane=lane.index, n_requests=len(batch)
+        ):
+            return self._serve_batch_impl(lane, batch)
+
+    def _serve_batch_impl(self, lane: _Lane, batch: List[Request]) -> None:
         """Serve one drained batch.
 
         Point requests run under the lane lock only. Within a batch, puts

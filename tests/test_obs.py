@@ -1,0 +1,532 @@
+"""Tests for the telemetry subsystem (repro.obs, DESIGN.md §12).
+
+Covers the metrics registry (registration guards, label cardinality,
+Prometheus/JSON exposition, hypothesis-checked merge associativity), span
+tracing (nesting, deterministic sampling, profiler absorption), the RL
+decision audit log (recording, timeline rendering, persistence through
+tuner snapshots), and — the subsystem's hard invariant — the
+**zero-sim-impact twin**: a run with every telemetry layer enabled is
+bit-identical in all simulated observables to the same run without.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.core.lerp import Lerp, LerpConfig
+from repro.core.ruskey import RusKey
+from repro.core.tuners import StaticTuner
+from repro.errors import ObsError
+from repro.lsm.stats import MissionStats
+from repro.lsm.tree import LSMTree
+from repro.obs import (
+    DecisionAuditLog,
+    MetricsRegistry,
+    Tracer,
+    collect_engine_metrics,
+    collect_store_metrics,
+    format_decision_timeline,
+    parse_prometheus_text,
+)
+from repro.engine.sharded import merge_mission_stats
+from repro.persist import (
+    load_obs,
+    load_store,
+    load_tuner,
+    save_obs,
+    save_store,
+    save_tuner,
+)
+from repro.workload import UniformWorkload
+
+
+def small_store(
+    initial_policy: int = 1,
+    cache_pages: int = 0,
+    n_shards: int = 2,
+    tune: bool = True,
+):
+    config = SystemConfig().with_updates(
+        initial_policy=initial_policy, block_cache_pages=cache_pages
+    )
+    if tune:
+        return RusKey(
+            config,
+            n_shards=n_shards,
+            lerp_config=LerpConfig(burn_in_missions=1),
+        )
+    return RusKey(config, tuner=StaticTuner(initial_policy), n_shards=n_shards)
+
+
+def run_small(store, n_missions: int = 4, mission_size: int = 200, seed: int = 3):
+    workload = UniformWorkload(
+        n_records=1500, lookup_fraction=0.5, seed=seed
+    )
+    keys, values = workload.load_records()
+    store.bulk_load(keys, values)
+    for mission in workload.missions(n_missions, mission_size):
+        store.run_mission(mission)
+    return store
+
+
+# ======================================================================
+# Metrics registry
+# ======================================================================
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "requests served")
+        requests.labels().inc()
+        requests.labels().inc(2.0)
+        depth = registry.gauge("queue_depth")
+        depth.labels().set(7.0)
+        lat = registry.histogram("latency_seconds")
+        lat.labels().observe(0.25)
+        families = registry.as_dict()["families"]
+        assert families["requests_total"]["series"][0]["value"] == 3.0
+        assert families["queue_depth"]["series"][0]["value"] == 7.0
+        assert families["latency_seconds"]["series"][0]["count"] == 1
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c")
+        with pytest.raises(ObsError):
+            family.labels().inc(-1.0)
+
+    def test_registration_is_idempotent_and_shape_checked(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", labels=("shard",))
+        assert registry.counter("ops", labels=("shard",)) is a
+        with pytest.raises(ObsError):
+            registry.gauge("ops", labels=("shard",))
+        with pytest.raises(ObsError):
+            registry.counter("ops", labels=("shard", "tenant"))
+
+    def test_label_names_must_match_exactly(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labels=("shard", "tenant"))
+        family.labels(shard="0", tenant="a").inc()
+        with pytest.raises(ObsError):
+            family.labels(shard="0")
+        with pytest.raises(ObsError):
+            family.labels(shard="0", tenant="a", extra="x")
+
+    def test_cardinality_guard(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labels=("key",), max_series=4)
+        for i in range(4):
+            family.labels(key=str(i)).inc()
+        with pytest.raises(ObsError, match="series budget"):
+            family.labels(key="overflow")
+        # Existing series stay reachable after the guard trips.
+        family.labels(key="0").inc()
+
+    def test_prometheus_exposition_parses_and_escapes(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("g", "help text", labels=("name",))
+        family.labels(name='with"quote\\and\nnewline').set(1.5)
+        registry.histogram("h").labels().observe_many([0.001, 0.01, 0.01])
+        parsed = parse_prometheus_text(registry.render("prometheus"))
+        assert parsed["types"]["g"] == "gauge"
+        assert parsed["types"]["h"] == "histogram"
+        values = {
+            name: value for (name, _), value in parsed["samples"].items()
+        }
+        assert values["g"] == 1.5
+        assert values["h_count"] == 3
+        # Cumulative buckets: the +Inf bucket equals the count.
+        inf_buckets = [
+            value
+            for (name, labels), value in parsed["samples"].items()
+            if name == "h_bucket" and ("le", "+Inf") in labels
+        ]
+        assert inf_buckets == [3.0]
+
+    def test_state_dict_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labels=("shard",)).labels(shard="1").inc(5)
+        registry.histogram("lat").labels().observe(0.125)
+        clone = MetricsRegistry.from_state_dict(registry.state_dict())
+        assert clone.render("prometheus") == registry.render("prometheus")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["a", "b", "c"]),
+                    st.integers(min_value=0, max_value=100),
+                ),
+                max_size=8,
+            ),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_merge_associativity(self, parts):
+        """(A ⊕ B) ⊕ C == A ⊕ (B ⊕ C), exactly.
+
+        Values are integers (and histogram observations powers of two) so
+        float addition is exact and the comparison is bit-strict, the
+        same way per-shard registries merge into one fleet view.
+        """
+
+        def build(increments):
+            registry = MetricsRegistry()
+            ops = registry.counter("ops", labels=("shard",))
+            lat = registry.histogram("lat", labels=("shard",))
+            for shard, amount in increments:
+                ops.labels(shard=shard).inc(float(amount))
+                lat.labels(shard=shard).observe_many(
+                    [2.0 ** (amount % 8 - 4)] * (amount % 3)
+                )
+            return registry
+
+        a, b, c = (build(p) for p in parts)
+        left = MetricsRegistry.merged(
+            [MetricsRegistry.merged([build(parts[0]), build(parts[1])]), c]
+        )
+        right = MetricsRegistry.merged(
+            [a, MetricsRegistry.merged([build(parts[1]), build(parts[2])])]
+        )
+        assert left.render("prometheus") == right.render("prometheus")
+        assert left.render("json") == right.render("json")
+
+    def test_merge_sums_shard_series(self):
+        a = MetricsRegistry()
+        a.counter("ops", labels=("shard",)).labels(shard="0").inc(3)
+        b = MetricsRegistry()
+        b.counter("ops", labels=("shard",)).labels(shard="0").inc(4)
+        b.counter("ops", labels=("shard",)).labels(shard="1").inc(5)
+        merged = MetricsRegistry.merged([a, b])
+        view = {
+            tuple(r["labels"].items()): r["value"]
+            for r in merged.as_dict()["families"]["ops"]["series"]
+        }
+        assert view[(("shard", "0"),)] == 7.0
+        assert view[(("shard", "1"),)] == 5.0
+
+
+# ======================================================================
+# Span tracing
+# ======================================================================
+class TestTracer:
+    def test_nesting_and_timing(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test") as outer:
+            with tracer.span("inner"):
+                pass
+        roots = tracer.spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert roots[0].attrs == {"kind": "test"}
+        child = roots[0].children[0]
+        assert outer.start <= child.start
+        assert child.duration <= outer.duration
+        assert outer.duration >= 0.0
+
+    def test_deterministic_sampling(self):
+        tracer = Tracer(sample_every=3)
+        for i in range(9):
+            with tracer.span(f"root-{i}"):
+                pass
+        kept = [r.name for r in tracer.spans()]
+        assert kept == ["root-0", "root-3", "root-6"]
+        assert tracer.roots_seen == 9
+        assert tracer.roots_kept == 3
+
+    def test_synthetic_children_and_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("parent") as span:
+            tracer.add_child(span, "stage.bloom", 0.002, level=1)
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(path)) == 1
+        record = json.loads(path.read_text().splitlines()[0])
+        (child,) = record["children"]
+        assert child["name"] == "stage.bloom"
+        assert child["synthetic"] is True
+        assert child["duration"] == pytest.approx(0.002)
+
+    def test_tree_spans_absorb_profiler_stages(self):
+        config = SystemConfig()
+        tree = LSMTree(config, profile=True)
+        keys = np.arange(300, dtype=np.int64)
+        tree.bulk_load(keys, keys)
+        tracer = Tracer()
+        tree.set_tracer(tracer)
+        tree.get_batch(keys[:64])
+        (root,) = tracer.spans()
+        assert root.name == "lsm.get_batch"
+        stages = {c.name for c in root.children if c.synthetic}
+        assert any(name.startswith("stage.") for name in stages)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ObsError):
+            Tracer(sample_every=0)
+        with pytest.raises(ObsError):
+            Tracer(max_spans=0)
+
+
+# ======================================================================
+# Decision audit log
+# ======================================================================
+class TestAuditLog:
+    def test_record_filter_and_order(self):
+        log = DecisionAuditLog()
+        log.record("policy_action", 0, arm="tiering", epsilon=0.5)
+        log.record("restart", None, reason="reset")
+        log.record("policy_action", 1, arm="leveling", epsilon=0.4)
+        assert len(log) == 3
+        assert [e.seq for e in log.events] == [0, 1, 2]
+        actions = log.filter("policy_action")
+        assert [e.data["arm"] for e in actions] == ["tiering", "leveling"]
+
+    def test_state_dict_round_trip(self):
+        log = DecisionAuditLog()
+        log.record("level_action", 2, level=1, delta=1, k=3, sigma=0.2)
+        clone = DecisionAuditLog.from_state_dict(log.state_dict())
+        assert len(clone) == 1
+        assert clone.events[0].state_dict() == log.events[0].state_dict()
+        # The sequence counter survives: new events keep a total order.
+        clone.record("restart", None, reason="detector")
+        assert clone.events[-1].seq == 1
+
+    def test_timeline_renders_decisions(self):
+        log = DecisionAuditLog()
+        log.record(
+            "policy_action",
+            0,
+            arm="tiering",
+            epsilon=0.25,
+            reward=-1.5,
+            lookup_fraction=0.5,
+            switched=True,
+        )
+        log.record("level_action", 1, level=1, delta=-1, k=2, sigma=0.1,
+                   reward=-0.5)
+        log.record("policy_commit", 2, arm="leveling",
+                   arm_means={"leveling": 1e-5})
+        text = format_decision_timeline(
+            log, policy_history=["tiering", None, "leveling"]
+        )
+        assert "ε=0.250" in text and "switch" in text
+        assert "ΔK=-1" in text and "σ=0.100" in text
+        assert "commit: leveling=1.000e-05" in text
+        # The store column cross-checks the engine's applied policy.
+        assert "| tiering" in text
+
+    def test_lerp_records_and_snapshots_audit(self, tmp_path):
+        store = small_store(n_shards=1)
+        audit = DecisionAuditLog()
+        store.attach_audit(audit)
+        run_small(store, n_missions=4)
+        kinds = {e.kind for e in audit.events}
+        assert "level_action" in kinds
+        assert all(e.mission is not None for e in audit.events)
+        # The log rides the tuner snapshot (persist round trip).
+        path = str(tmp_path / "lerp.snap")
+        save_tuner(store.tuner, store.config, path)
+        restored = load_tuner(path)
+        assert isinstance(restored, Lerp)
+        assert restored.audit is not None
+        assert len(restored.audit) == len(audit)
+        assert restored.missions_observed == store.tuner.missions_observed
+
+    def test_store_snapshot_carries_audit(self, tmp_path):
+        store = small_store(n_shards=2)
+        store.attach_audit(DecisionAuditLog())
+        run_small(store, n_missions=3)
+        path = str(tmp_path / "store.ckpt")
+        save_store(store, path)
+        restored = load_store(path)
+        total = sum(
+            len(t.audit) for t in dict.fromkeys(restored.tuners) if t.audit
+        )
+        expected = sum(
+            len(t.audit) for t in dict.fromkeys(store.tuners) if t.audit
+        )
+        assert total == expected > 0
+
+    def test_obs_snapshot_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("ops").labels().inc(9)
+        audit = DecisionAuditLog()
+        audit.record("restart", None, reason="reset")
+        path = str(tmp_path / "obs.ckpt")
+        save_obs(path, registry=registry, audit=audit)
+        registry2, audit2 = load_obs(path)
+        assert registry2.render("prometheus") == registry.render("prometheus")
+        assert len(audit2) == 1
+        assert audit2.events[0].data["reason"] == "reset"
+
+    def test_restart_reason_recorded(self):
+        tuner = Lerp(SystemConfig(), LerpConfig())
+        audit = DecisionAuditLog()
+        tuner.attach_audit(audit)
+        tuner.reset()
+        (event,) = audit.filter("restart")
+        assert event.data["reason"] == "reset"
+        assert event.mission is None
+
+
+# ======================================================================
+# Collection
+# ======================================================================
+class TestCollection:
+    def test_engine_registry_matches_engine_state(self):
+        store = run_small(small_store(tune=False))
+        registry = collect_engine_metrics(store.engine)
+        parsed = parse_prometheus_text(registry.render("prometheus"))
+        clock = sum(
+            value
+            for (name, _), value in parsed["samples"].items()
+            if name == "repro_sim_clock_seconds"
+        )
+        assert clock == pytest.approx(store.engine.clock_now, rel=0, abs=0)
+        entries = sum(
+            value
+            for (name, _), value in parsed["samples"].items()
+            if name == "repro_engine_entries"
+        )
+        assert int(entries) == store.engine.total_entries
+
+    def test_store_registry_includes_tuner_series(self):
+        store = run_small(small_store())
+        registry = collect_store_metrics(store)
+        text = registry.render("prometheus")
+        assert "repro_tuner_model_seconds" in text
+        assert "repro_store_missions 4" in text
+
+
+# ======================================================================
+# The zero-sim-impact twin (the subsystem's hard invariant)
+# ======================================================================
+def simulated_fingerprint(store) -> dict:
+    io = store.engine.io_counters
+    return {
+        "clock": store.engine.clock_now,
+        "entries": store.engine.total_entries,
+        "cache": (store.engine.cache_hits, store.engine.cache_misses),
+        "io": (io.random_reads, io.random_writes, io.seq_reads, io.seq_writes),
+        "latencies": store.latency_series().tolist(),
+        "sim_times": [m.total_time for m in store.mission_log],
+        "policies": store.policy_history,
+    }
+
+
+class TestZeroSimImpact:
+    @pytest.mark.parametrize("initial_policy", [1, 10],
+                             ids=["leveling", "tiering"])
+    @pytest.mark.parametrize("cache_pages", [0, 64],
+                             ids=["nocache", "cache"])
+    def test_instrumented_twin_is_bit_identical(
+        self, initial_policy, cache_pages
+    ):
+        """Metrics + tracing + audit on vs everything off: every simulated
+        observable must match bit for bit (no SimClock charge, no RNG
+        draw, no counter touched by any telemetry layer)."""
+        bare = run_small(small_store(initial_policy, cache_pages))
+
+        inst = small_store(initial_policy, cache_pages)
+        inst.engine.set_tracer(Tracer(sample_every=2))
+        audit = DecisionAuditLog()
+        inst.attach_audit(audit)
+        run_small(inst)
+        collect_store_metrics(inst)  # collection reads, never mutates
+
+        assert simulated_fingerprint(bare) == simulated_fingerprint(inst)
+        assert len(audit) > 0
+
+    def test_detach_restores_bare_path(self):
+        store = small_store(tune=False)
+        tracer = Tracer()
+        store.engine.set_tracer(tracer)
+        store.engine.set_tracer(None)
+        run_small(store)
+        assert tracer.roots_seen == 0
+
+
+# ======================================================================
+# Satellite 1: MissionStats wall-duration merge asymmetry
+# ======================================================================
+class TestWallDurationMerge:
+    def test_merge_keeps_max_and_sum_separately(self):
+        """Per-shard windows overlap in wall time: elapsed wall time is the
+        max across shards (lanes run concurrently), while summed busy time
+        is a separate, explicitly-named quantity."""
+        parts = []
+        for i, wall in enumerate([0.2, 0.5, 0.3]):
+            part = MissionStats(index=0, n_lookups=100)
+            part.wall_duration = wall
+            part.wall_duration_sum = wall
+            parts.append(part)
+        merged = merge_mission_stats(0, parts)
+        assert merged.wall_duration_max == pytest.approx(0.5)
+        assert merged.wall_duration == pytest.approx(0.5)
+        assert merged.wall_duration_sum == pytest.approx(1.0)
+
+    def test_ops_per_second_uses_elapsed_not_summed(self):
+        part_a = MissionStats(index=0, n_lookups=300)
+        part_a.wall_duration = 0.5
+        part_a.wall_duration_sum = 0.5
+        part_b = MissionStats(index=0, n_lookups=300)
+        part_b.wall_duration = 0.5
+        part_b.wall_duration_sum = 0.5
+        merged = merge_mission_stats(0, [part_a, part_b])
+        # 600 ops in 0.5s of elapsed wall time — NOT 600 / 1.0: dividing
+        # by summed busy time would understate concurrent throughput 2x.
+        assert merged.ops_per_second == pytest.approx(1200.0)
+
+    def test_end_mission_populates_both(self):
+        config = SystemConfig()
+        tree = LSMTree(config)
+        tree.begin_mission()
+        tree.put(1, 2)
+        stats = tree.end_mission()
+        assert stats.wall_duration_sum == stats.wall_duration > 0.0
+        assert stats.wall_duration_max == stats.wall_duration
+
+    def test_wall_sum_excluded_from_snapshots(self):
+        mission = MissionStats(index=0, n_lookups=1)
+        mission.wall_duration = 1.0
+        mission.wall_duration_sum = 2.0
+        state = mission.state_dict()
+        assert "wall_duration_sum" not in state
+        restored = MissionStats.from_state_dict(state)
+        assert restored.wall_duration_sum == 0.0
+
+
+# ======================================================================
+# Serving integration
+# ======================================================================
+class TestServeTracing:
+    def test_server_emits_nested_serve_spans(self):
+        from repro.serve.server import KVServer
+        from repro.serve.loadgen import TenantSpec, run_load
+
+        store = small_store(tune=False, n_shards=2)
+        keys = np.arange(2000, dtype=np.int64)
+        store.bulk_load(keys, keys)
+        tracer = Tracer()
+        server = KVServer(store.engine, max_batch=64, tracer=tracer)
+        workload = UniformWorkload(n_records=2000, lookup_fraction=0.5, seed=5)
+        tenant = TenantSpec(
+            name="t", workload=workload, n_ops=800,
+            n_clients=1, closed_loop=True, mission_size=200, seed=5,
+        )
+        server.start()
+        try:
+            run_load(server, [tenant])
+        finally:
+            server.stop()
+        roots = tracer.spans()
+        assert roots, "no serve spans were recorded"
+        assert {r.name for r in roots} == {"serve.batch"}
+        child_names = {c.name for r in roots for c in r.children}
+        assert any(
+            name.startswith(("lsm.", "store.")) for name in child_names
+        ), child_names

@@ -27,8 +27,15 @@ script has two jobs, usually run as one CI step:
    also fails hard (a silently skipped or deleted benchmark is exactly
    the regression this pipeline exists to catch).
 
+One record is produced outside pytest: ``scripts/crash_smoke.py`` emits
+``crash_recovery`` (kill-point matrix: recovered-op, manifest-edit and
+replayed-record counts are simulated-exact; WAL replay throughput rides
+the warn-only ``_rps``/``wall`` tier). Run it before collecting so the
+baseline's record is never reported missing.
+
 Usage (CI)::
 
+    python scripts/crash_smoke.py
     python scripts/bench_compare.py \
         --collect bench_reports/metrics \
         --pr bench_reports/BENCH_PR.json \
@@ -40,6 +47,7 @@ collect skips files stamped with a different scale)::
 
     rm -rf bench_reports/metrics
     REPRO_BENCH_SCALE=quick python -m pytest -q benchmarks
+    REPRO_BENCH_SCALE=quick PYTHONPATH=src python scripts/crash_smoke.py
     REPRO_BENCH_SCALE=quick python scripts/bench_compare.py \
         --collect bench_reports/metrics --pr BENCH_BASELINE.json
 """

@@ -1,0 +1,276 @@
+"""Versioned manifest: an append-only edit log of the store's file set.
+
+A manifest file (``MANIFEST-%06d.log``) is a sequence of CRC-framed JSON
+edit records using the same ``u32 len | u32 crc32 | payload`` framing as
+the WAL. The first edit of every manifest is a *snapshot* edit carrying
+the full state (config, complete file list, metadata); subsequent edits
+are deltas. ``CURRENT`` is a one-line text file naming the live manifest
+and is only ever updated by an atomic ``os.replace`` — a crash leaves
+either the old or the new pointer, never garbage.
+
+Edit record fields (all optional except where noted; unknown fields are
+ignored so the format can grow):
+
+``snapshot``          bool — this edit rebases state instead of patching it
+``config``            :func:`repro.persist.snapshot.config_to_state` dict
+                      (snapshot edits only)
+``files``             ``[[level, run_id, filename], ...]`` full live file
+                      list in level-then-age order (snapshot edits only)
+``ops``               ``[["add", level, run_id, filename] | ["drop",
+                      level, run_id], ...]`` applied in order
+``checkpoint_seqno``  every WAL op with seqno <= this is covered by the
+                      SSTables named in the (post-edit) file set
+``wal_head``          id of the WAL segment new appends go to
+``n_levels``          depth of the tree at edit time (levels may be empty)
+``policies``          ``[[policy, pending_or_null], ...]`` shallow → deep
+``named_policy``      pinned named compaction policy or ``None``
+``next_run_id``       run-id counter floor for the reopened tree
+``bits_per_key``      current Bloom budget
+
+Recovery invariant: every ``add`` is only appended *after* its SSTable
+file is fully written and fsynced, so a manifest whose edits all pass
+their CRC never references a torn table. A torn **final** edit record
+(the writer died mid-append) is discarded exactly like a torn WAL tail —
+that edit's commit never acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.durable import faults
+from repro.errors import DurabilityError
+
+_FRAME = struct.Struct("<II")
+
+CURRENT_NAME = "CURRENT"
+MANIFEST_FMT = "MANIFEST-{:06d}.log"
+
+
+def manifest_path(directory: str, manifest_id: int) -> str:
+    return os.path.join(directory, MANIFEST_FMT.format(manifest_id))
+
+
+def current_path(directory: str) -> str:
+    return os.path.join(directory, CURRENT_NAME)
+
+
+def _jsonable(value):
+    """Coerce numpy scalars (and containers of them) to plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def encode_edit(edit: Dict[str, object]) -> bytes:
+    payload = json.dumps(_jsonable(edit), sort_keys=True).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_edits(data: bytes) -> Tuple[List[Dict[str, object]], bool]:
+    """All valid edits in ``data`` plus whether a torn tail was discarded."""
+    edits: List[Dict[str, object]] = []
+    offset = 0
+    total = len(data)
+    while True:
+        if offset + _FRAME.size > total:
+            return edits, offset != total
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            return edits, True
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return edits, True
+        try:
+            edit = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            return edits, True
+        if not isinstance(edit, dict):
+            return edits, True
+        edits.append(edit)
+        offset = end
+
+
+class ManifestState:
+    """The live file set and tree metadata implied by a manifest's edits."""
+
+    def __init__(self) -> None:
+        self.config_state: Optional[Dict[str, object]] = None
+        #: level -> ordered ``[(run_id, filename)]``, oldest run first.
+        self.files: Dict[int, List[Tuple[int, str]]] = {}
+        self.checkpoint_seqno = 0
+        self.wal_head = 1
+        self.n_levels = 0
+        #: shallow → deep ``(policy, pending_policy_or_None)``.
+        self.policies: List[Tuple[int, Optional[int]]] = []
+        self.named_policy: Optional[str] = None
+        self.next_run_id = 0
+        self.bits_per_key: Optional[float] = None
+        self.edits_applied = 0
+
+    def apply_edit(self, edit: Dict[str, object]) -> None:
+        if edit.get("snapshot"):
+            self.files = {}
+            for level, run_id, filename in edit.get("files", []):
+                self.files.setdefault(int(level), []).append(
+                    (int(run_id), str(filename))
+                )
+        if "config" in edit:
+            self.config_state = edit["config"]
+        for op in edit.get("ops", []):
+            kind = op[0]
+            if kind == "add":
+                _, level, run_id, filename = op
+                self.files.setdefault(int(level), []).append(
+                    (int(run_id), str(filename))
+                )
+            elif kind == "drop":
+                _, level, run_id = op
+                runs = self.files.get(int(level), [])
+                before = len(runs)
+                runs[:] = [(r, f) for r, f in runs if r != int(run_id)]
+                if len(runs) == before:
+                    raise DurabilityError(
+                        f"manifest drops unknown run {run_id} at level {level}"
+                    )
+            else:
+                raise DurabilityError(f"unknown manifest op {kind!r}")
+        if "checkpoint_seqno" in edit:
+            self.checkpoint_seqno = int(edit["checkpoint_seqno"])
+        if "wal_head" in edit:
+            self.wal_head = int(edit["wal_head"])
+        if "n_levels" in edit:
+            self.n_levels = int(edit["n_levels"])
+        if "policies" in edit:
+            self.policies = [
+                (int(p), None if pending is None else int(pending))
+                for p, pending in edit["policies"]
+            ]
+        if "named_policy" in edit:
+            raw = edit["named_policy"]
+            self.named_policy = None if raw is None else str(raw)
+        if "next_run_id" in edit:
+            self.next_run_id = int(edit["next_run_id"])
+        if "bits_per_key" in edit:
+            self.bits_per_key = float(edit["bits_per_key"])
+        self.edits_applied += 1
+
+    def live_filenames(self) -> List[str]:
+        return [f for runs in self.files.values() for _, f in runs]
+
+    def snapshot_edit(self) -> Dict[str, object]:
+        """A single snapshot edit reproducing this state (manifest rotation)."""
+        edit: Dict[str, object] = {
+            "snapshot": True,
+            "files": [
+                [level, run_id, filename]
+                for level in sorted(self.files)
+                for run_id, filename in self.files[level]
+            ],
+            "checkpoint_seqno": self.checkpoint_seqno,
+            "wal_head": self.wal_head,
+            "n_levels": self.n_levels,
+            "policies": [[p, pending] for p, pending in self.policies],
+            "named_policy": self.named_policy,
+            "next_run_id": self.next_run_id,
+        }
+        if self.config_state is not None:
+            edit["config"] = self.config_state
+        if self.bits_per_key is not None:
+            edit["bits_per_key"] = self.bits_per_key
+        return edit
+
+
+class ManifestWriter:
+    """Appends edit records to one manifest file, fsync per edit."""
+
+    def __init__(self, directory: str, manifest_id: int) -> None:
+        self.directory = os.fspath(directory)
+        self.manifest_id = manifest_id
+        self.path = manifest_path(self.directory, manifest_id)
+        self._fh = open(self.path, "ab")
+        self.edits_written = 0
+
+    def append_edit(self, edit: Dict[str, object]) -> None:
+        if self._fh.closed:
+            raise DurabilityError(f"manifest {self.path} is closed")
+        faults.maybe_crash("manifest.edit")
+        frame = encode_edit(edit)
+        if faults.crash_hit("manifest.torn"):
+            # Injected torn append: half the edit record reaches disk.
+            self._fh.write(frame[: max(1, len(frame) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            faults.die()
+        self._fh.write(frame)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.edits_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+
+def write_current(directory: str, manifest_id: int) -> None:
+    """Atomically repoint ``CURRENT`` at ``MANIFEST-<manifest_id>``.
+
+    Written to a temp file, fsynced, then ``os.replace``-d over CURRENT —
+    a crash at any point leaves a valid pointer (old or new, never torn).
+    """
+    target = current_path(directory)
+    tmp = target + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(MANIFEST_FMT.format(manifest_id) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    faults.maybe_crash("manifest.swap")
+    os.replace(tmp, target)
+
+
+def read_current(directory: str) -> int:
+    """Manifest id named by ``CURRENT``; raises when absent or malformed."""
+    path = current_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            name = fh.read().strip()
+    except FileNotFoundError:
+        raise DurabilityError(f"no CURRENT file in {directory}")
+    prefix, suffix = "MANIFEST-", ".log"
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        raise DurabilityError(f"CURRENT names an invalid manifest: {name!r}")
+    try:
+        manifest_id = int(name[len(prefix) : -len(suffix)])
+    except ValueError:
+        raise DurabilityError(f"CURRENT names an invalid manifest: {name!r}")
+    if not os.path.exists(manifest_path(directory, manifest_id)):
+        raise DurabilityError(f"CURRENT names a missing manifest: {name!r}")
+    return manifest_id
+
+
+def read_manifest(directory: str) -> Tuple[ManifestState, int, bool]:
+    """Replay the live manifest: ``(state, manifest_id, torn_tail)``."""
+    manifest_id = read_current(directory)
+    with open(manifest_path(directory, manifest_id), "rb") as fh:
+        data = fh.read()
+    edits, torn = decode_edits(data)
+    if not edits:
+        raise DurabilityError(
+            f"manifest {manifest_id} in {directory} holds no valid edits"
+        )
+    state = ManifestState()
+    for edit in edits:
+        state.apply_edit(edit)
+    return state, manifest_id, torn

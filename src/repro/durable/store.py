@@ -1,0 +1,925 @@
+"""`DurableStore`: a crash-recoverable KVEngine over an in-memory LSMTree.
+
+The store composes the three durable primitives around an unmodified
+:class:`~repro.lsm.tree.LSMTree` working set:
+
+* every write appends to the WAL (and fsyncs a sync marker — the ack
+  boundary) *before* touching the memtable;
+* every run the tree installs is mirrored to an SSTable file the moment
+  the in-memory install happens (via the tree's change-observer hooks),
+  and every flush cascade commits one manifest edit recording the adds,
+  drops, the new WAL head and a conservative ``checkpoint_seqno``;
+* recovery replays MANIFEST → opens the live SSTables → replays the WAL
+  tail, then garbage-collects orphan files from interrupted commits.
+
+Write protocol (the order is the whole durability argument)::
+
+    put_batch(keys, values):
+      1. WAL append + fsync sync marker          -> op is ACKNOWLEDGED
+      2. tree.put_batch                           (may flush/compact)
+           per installed run: write SSTable file (fsync, tmp+rename)
+           per flush cascade: append manifest edit (fsync), rotate WAL,
+                              delete covered segments + dropped tables
+
+    A kill at any point:
+      before 1 completes  -> op unacked; torn WAL tail truncated on reopen
+      between 1 and 2     -> replayed from the WAL on reopen
+      mid-SSTable         -> orphan .tmp / unreferenced file, GC'd; WAL
+                             still holds the data
+      mid-manifest-edit   -> torn final edit discarded; the tables it
+                             named become orphans; WAL still holds the data
+      after the edit      -> recovered from MANIFEST + WAL tail
+
+``checkpoint_seqno`` is conservative: when a flush fires in the middle of
+op N (the memtable filled partway through a batch), the edit records
+``N - 1`` — the last op *fully* applied before it. Replay may therefore
+re-apply a prefix the SSTables already hold, which is harmless under
+newest-wins merge semantics; what it can never do is lose an
+acknowledged suffix.
+
+SimClock discipline: the inner tree charges all simulated costs exactly
+as the in-memory engine does — the durable layer never touches the
+simulated clock, RNG, cache or counters, so a ``DurableStore`` is
+bit-identical to a bare ``LSMTree`` in every simulated observable. Wall
+time spent on real file I/O is tallied in :attr:`telemetry` and exported
+through :func:`repro.obs.collect.collect_durable_metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig, TransitionKind
+from repro.durable import faults
+from repro.durable.manifest import (
+    ManifestState,
+    ManifestWriter,
+    current_path,
+    manifest_path,
+    read_manifest,
+    write_current,
+)
+from repro.durable.sstable import read_sstable, sstable_path, write_sstable
+from repro.durable.wal import (
+    OP_DELETE,
+    OP_PUT,
+    WalReader,
+    WalWriter,
+    list_segments,
+    segment_path,
+)
+from repro.errors import DurabilityError
+from repro.lsm.entry import MAX_KEY, MIN_KEY, TOMBSTONE
+from repro.lsm.policy import PolicyLike, resolve_policy
+from repro.lsm.run import SortedRun
+from repro.lsm.stats import MissionStats
+from repro.lsm.tree import LSMTree
+from repro.storage.pager import IOCounters
+
+
+class RecoveryReport(NamedTuple):
+    """What reopening a durable directory found and did."""
+
+    created: bool
+    manifest_id: int
+    manifest_edits: int
+    manifest_torn: bool
+    runs_opened: int
+    recovered_entries: int
+    checkpoint_seqno: int
+    recovered_seqno: int
+    wal_segments: int
+    wal_records_replayed: int
+    wal_ops_replayed: int
+    wal_torn: bool
+    orphans_removed: int
+    replay_wall_s: float
+
+
+def _sstable_filename(run_id: int, level_no: int) -> str:
+    return os.path.basename(sstable_path("", run_id, level_no))
+
+
+class DurableStore:
+    """A durable :class:`~repro.engine.base.KVEngine` backed by one
+    :class:`~repro.lsm.tree.LSMTree` plus a WAL, SSTables and a manifest
+    in ``data_dir``.
+
+    Opening an empty (or absent) directory creates a fresh store —
+    ``config`` is then required. Opening a directory holding a ``CURRENT``
+    pointer recovers the store; a ``config`` passed alongside must match
+    the one recorded in the manifest.
+
+    The store registers itself as the tree's only tuning target so the
+    serving layer's write path (which writes through ``tuning_targets``)
+    cannot bypass the WAL; the tuner-facing tree surface (``levels``,
+    ``level()``, ``set_policy``, ``set_named_policy``, ...) is delegated
+    with manifest commits wrapped around every mutation.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        config: Optional[SystemConfig] = None,
+        *,
+        rotate_manifest_every: int = 64,
+        profile: bool = False,
+    ) -> None:
+        self.data_dir = os.fspath(data_dir)
+        self.rotate_manifest_every = max(2, int(rotate_manifest_every))
+        self._profile = profile
+        #: Wall-clock/file-volume telemetry (never simulated state); see
+        #: :func:`repro.obs.collect.collect_durable_metrics`.
+        self.telemetry: Dict[str, float] = {
+            "wal_records": 0,
+            "wal_bytes": 0,
+            "wal_syncs": 0,
+            "sstables_written": 0,
+            "sstable_bytes": 0,
+            "manifest_edits": 0,
+            "commits": 0,
+            "wal_rotations": 0,
+            "manifest_rotations": 0,
+            "orphans_removed": 0,
+            "wal_records_replayed": 0,
+            "wall_wal_s": 0.0,
+            "wall_sstable_s": 0.0,
+            "wall_manifest_s": 0.0,
+            "wall_recovery_s": 0.0,
+        }
+        self._pending_ops: List[List[object]] = []
+        self._pending_deletions: List[str] = []
+        self._pending_wal_head: Optional[int] = None
+        #: WAL segment id -> highest seqno its on-disk records cover.
+        self._segment_max_seqno: Dict[int, int] = {}
+        self._closed = False
+
+        os.makedirs(self.data_dir, exist_ok=True)
+        if os.path.exists(current_path(self.data_dir)):
+            self.last_recovery = self._recover(config)
+        else:
+            if config is None:
+                raise DurabilityError(
+                    f"{self.data_dir} holds no store and no config was given"
+                )
+            self.last_recovery = self._create(config)
+        self.config = self._tree.config
+
+    # ------------------------------------------------------------------
+    # Creation / recovery
+    # ------------------------------------------------------------------
+    def _config_state(self, config: SystemConfig) -> Dict[str, object]:
+        from repro.persist.snapshot import config_to_state
+
+        return config_to_state(config)
+
+    def _create(self, config: SystemConfig) -> RecoveryReport:
+        leftovers = [
+            name
+            for name in os.listdir(self.data_dir)
+            if name.endswith(".sst") or name.startswith(("wal-", "MANIFEST-"))
+        ]
+        if leftovers:
+            raise DurabilityError(
+                f"{self.data_dir} holds store files but no CURRENT pointer "
+                f"({sorted(leftovers)[:4]}...); refusing to overwrite"
+            )
+        self._tree = LSMTree(config, profile=self._profile)
+        self._tree.set_change_observer(self)
+        self._state = ManifestState()
+        self._state.config_state = self._config_state(config)
+        self._state.wal_head = 1
+        self._manifest = ManifestWriter(self.data_dir, 1)
+        self._manifest.append_edit(self._state.snapshot_edit())
+        self._state.edits_applied = 0  # own snapshot doesn't count as a delta
+        write_current(self.data_dir, 1)
+        self._wal = WalWriter(segment_path(self.data_dir, 1))
+        self._wal_head_id = 1
+        self._next_seqno = 1
+        self._acked_seqno = 0
+        self._applied_seqno = 0
+        # ``_flushed_seqno``: every op <= it has all its data in SSTables —
+        # the only value a manifest checkpoint may record. ``_inflight_floor``:
+        # the last *fully* applied op; while an op is mid-application it
+        # lags to op_start - 1, which is what a mid-op flush may claim.
+        self._flushed_seqno = 0
+        self._inflight_floor = 0
+        return RecoveryReport(
+            created=True,
+            manifest_id=1,
+            manifest_edits=1,
+            manifest_torn=False,
+            runs_opened=0,
+            recovered_entries=0,
+            checkpoint_seqno=0,
+            recovered_seqno=0,
+            wal_segments=1,
+            wal_records_replayed=0,
+            wal_ops_replayed=0,
+            wal_torn=False,
+            orphans_removed=0,
+            replay_wall_s=0.0,
+        )
+
+    def _recover(self, config: Optional[SystemConfig]) -> RecoveryReport:
+        from repro.persist.snapshot import config_from_state
+
+        t0 = perf_counter()
+        state, manifest_id, manifest_torn = read_manifest(self.data_dir)
+        if state.config_state is None:
+            raise DurabilityError(
+                f"manifest {manifest_id} in {self.data_dir} records no config"
+            )
+        recorded = config_from_state(dict(state.config_state))
+        if config is not None and config != recorded:
+            raise DurabilityError(
+                f"{self.data_dir} was created under a different SystemConfig"
+            )
+        config = recorded
+
+        tree = LSMTree(config, profile=self._profile)
+        if state.n_levels:
+            tree._ensure_level(state.n_levels)
+        for level, (policy, pending) in zip(tree.levels, state.policies):
+            level.set_policy_immediate(policy)
+            level.pending_policy = pending
+        if state.named_policy is not None:
+            tree.compaction_policy = resolve_policy(state.named_policy)
+        if state.bits_per_key is not None and tree.levels:
+            tree.set_bits_per_key(state.bits_per_key)
+
+        # Open live SSTables in manifest order (per level: oldest first).
+        runs_opened = 0
+        max_run_id = -1
+        for level_no in sorted(state.files):
+            tree._ensure_level(level_no)
+            level = tree.level(level_no)
+            for run_id, filename in state.files[level_no]:
+                path = os.path.join(self.data_dir, filename)
+                if not os.path.exists(path):
+                    raise DurabilityError(
+                        f"manifest names missing SSTable {filename}"
+                    )
+                run, _ = read_sstable(path, config.bloom_mode, tree._rng)
+                if run.run_id != run_id or run.level_no != level_no:
+                    raise DurabilityError(
+                        f"SSTable {filename} identifies as run {run.run_id} "
+                        f"level {run.level_no}, manifest says {run_id}/{level_no}"
+                    )
+                level.runs.append(run)
+                runs_opened += 1
+                max_run_id = max(max_run_id, run_id)
+        # Seal/capacity fixup: flexible policy transitions mutate the active
+        # run's capacity (and may seal it) without rewriting its file, so
+        # the authoritative post-recovery state is recomputed from the
+        # level's policy, not trusted from the header.
+        for level in tree.levels:
+            for run in level.runs[:-1]:
+                run.sealed = True
+            if level.runs and not level.runs[-1].sealed:
+                tail = level.runs[-1]
+                tail.capacity_entries = level.active_run_capacity()
+                if tail.n_entries >= tail.capacity_entries:
+                    tail.seal()
+        tree._next_run_id = max(state.next_run_id, max_run_id + 1)
+        tree.check_invariants()
+
+        # Read every WAL segment; truncate torn tails to the last valid
+        # record so post-recovery appends extend a clean prefix.
+        readers: List[Tuple[int, WalReader]] = []
+        wal_torn = False
+        for file_id, path in list_segments(self.data_dir):
+            reader = WalReader(path)
+            if reader.torn:
+                wal_torn = True
+                os.truncate(path, reader.valid_bytes)
+            readers.append((file_id, reader))
+            self._segment_max_seqno[file_id] = reader.max_seqno
+
+        checkpoint = state.checkpoint_seqno
+        recovered_seqno = checkpoint
+        for _, reader in readers:
+            recovered_seqno = max(recovered_seqno, reader.max_seqno)
+
+        # GC: orphan temp files, unreferenced SSTables (interrupted
+        # commits), superseded manifests, fully-covered WAL segments.
+        orphans = 0
+        live = set(state.live_filenames())
+        current_manifest = os.path.basename(
+            manifest_path(self.data_dir, manifest_id)
+        )
+        for name in sorted(os.listdir(self.data_dir)):
+            path = os.path.join(self.data_dir, name)
+            if name.endswith(".tmp"):
+                os.unlink(path)
+                orphans += 1
+            elif name.endswith(".sst") and name not in live:
+                os.unlink(path)
+                orphans += 1
+            elif (
+                name.startswith("MANIFEST-")
+                and name.endswith(".log")
+                and name != current_manifest
+            ):
+                os.unlink(path)
+                orphans += 1
+        # The live head is the highest segment on disk (a crash between
+        # opening a new segment and committing its manifest edit can leave
+        # the head one ahead of the recorded ``wal_head``).
+        head_id = state.wal_head
+        for file_id, _ in readers:
+            head_id = max(head_id, file_id)
+        kept_readers: List[Tuple[int, WalReader]] = []
+        for file_id, reader in readers:
+            if reader.max_seqno <= checkpoint and file_id < head_id:
+                os.unlink(segment_path(self.data_dir, file_id))
+                self._segment_max_seqno.pop(file_id, None)
+                orphans += 1
+            else:
+                kept_readers.append((file_id, reader))
+
+        # Wire up the live write path *before* replay: a replay-induced
+        # flush must commit durably like any other flush.
+        self._tree = tree
+        self._state = state
+        self._manifest = ManifestWriter(self.data_dir, manifest_id)
+        self._manifest.edits_written = state.edits_applied
+        self._wal = WalWriter(segment_path(self.data_dir, head_id))
+        self._wal_head_id = head_id
+        if head_id != state.wal_head:
+            self._pending_wal_head = head_id
+        self._next_seqno = recovered_seqno + 1
+        self._acked_seqno = recovered_seqno
+        self._applied_seqno = checkpoint
+        self._flushed_seqno = checkpoint
+        self._inflight_floor = checkpoint
+        tree.set_change_observer(self)
+
+        # Replay the WAL tail (ops past the checkpoint) into the memtable.
+        records_replayed = 0
+        ops_replayed = 0
+        for _, reader in kept_readers:
+            for record in reader.records:
+                if record.op not in (OP_PUT, OP_DELETE) or record.n_ops == 0:
+                    continue
+                first, last = record.seqno, record.seqno + record.n_ops - 1
+                if last <= checkpoint:
+                    continue
+                skip = max(0, checkpoint - first + 1)
+                self._inflight_floor = max(
+                    self._applied_seqno, first + skip - 1
+                )
+                if record.op == OP_PUT:
+                    tree.put_batch(record.keys[skip:], record.values[skip:])
+                else:
+                    for key in record.keys[skip:]:
+                        tree.delete(int(key))
+                self._applied_seqno = last
+                records_replayed += 1
+                ops_replayed += record.n_ops - skip
+        self._inflight_floor = self._applied_seqno = recovered_seqno
+        if self._pending_ops:
+            # A replay flush mid-commit never leaves buffered edits, but a
+            # replay that ended exactly on a flush boundary may; land them.
+            self._commit()
+
+        wall = perf_counter() - t0
+        self.telemetry["wall_recovery_s"] += wall
+        self.telemetry["orphans_removed"] += orphans
+        self.telemetry["wal_records_replayed"] += records_replayed
+        return RecoveryReport(
+            created=False,
+            manifest_id=manifest_id,
+            manifest_edits=state.edits_applied,
+            manifest_torn=manifest_torn,
+            runs_opened=runs_opened,
+            recovered_entries=tree.total_entries,
+            checkpoint_seqno=checkpoint,
+            recovered_seqno=recovered_seqno,
+            wal_segments=len(kept_readers),
+            wal_records_replayed=records_replayed,
+            wal_ops_replayed=ops_replayed,
+            wal_torn=wal_torn,
+            orphans_removed=orphans,
+            replay_wall_s=wall,
+        )
+
+    # ------------------------------------------------------------------
+    # Change-observer hooks (invoked synchronously by the inner tree)
+    # ------------------------------------------------------------------
+    def run_installed(
+        self, level_no: int, run: SortedRun, replaced_run_id: Optional[int]
+    ) -> None:
+        faults.maybe_crash("commit.before")
+        filename = _sstable_filename(run.run_id, level_no)
+        t0 = perf_counter()
+        n_bytes = write_sstable(os.path.join(self.data_dir, filename), run)
+        self.telemetry["wall_sstable_s"] += perf_counter() - t0
+        self.telemetry["sstables_written"] += 1
+        self.telemetry["sstable_bytes"] += n_bytes
+        if replaced_run_id is not None:
+            self._pending_ops.append(["drop", level_no, replaced_run_id])
+            self._pending_deletions.append(
+                _sstable_filename(replaced_run_id, level_no)
+            )
+        self._pending_ops.append(["add", level_no, run.run_id, filename])
+        faults.maybe_crash("commit.mid")
+
+    def runs_dropped(self, level_no: int, run_ids: Sequence[int]) -> None:
+        for run_id in run_ids:
+            self._pending_ops.append(["drop", level_no, run_id])
+            self._pending_deletions.append(_sstable_filename(run_id, level_no))
+
+    def flush_completed(self) -> None:
+        """One flush cascade finished: commit its edits and rotate the WAL.
+
+        The drained memtable held every op up to ``_inflight_floor`` (plus
+        possibly part of the op in flight), so that floor is now fully
+        covered by SSTables and becomes the new manifest checkpoint.
+        """
+        self._flushed_seqno = self._inflight_floor
+        self._rotate_wal()
+        self._commit()
+
+    # ------------------------------------------------------------------
+    # Commit machinery
+    # ------------------------------------------------------------------
+    def _meta_fields(self) -> Dict[str, object]:
+        tree = self._tree
+        return {
+            "n_levels": tree.n_levels,
+            "policies": [
+                [level.policy, level.pending_policy] for level in tree.levels
+            ],
+            "named_policy": tree.named_policy(),
+            "next_run_id": tree._next_run_id,
+            "bits_per_key": tree.bits_per_key,
+        }
+
+    def _rotate_wal(self) -> None:
+        """Retire the live WAL segment and open the next one.
+
+        Called at flush commits: everything up to ``_checkpoint_floor`` is
+        about to be covered by SSTables, so the retired segment becomes
+        deletable once every seqno it holds falls under a later
+        checkpoint. The new head id rides the same manifest edit.
+        """
+        old = self._wal
+        old.close()
+        old_id = self._wal_head_id
+        self._segment_max_seqno[old_id] = max(
+            old.max_seqno, self._segment_max_seqno.get(old_id, 0)
+        )
+        new_id = old_id + 1
+        self._wal = WalWriter(segment_path(self.data_dir, new_id))
+        self._wal_head_id = new_id
+        self._pending_wal_head = new_id
+        self.telemetry["wal_rotations"] += 1
+
+    def _commit(self) -> None:
+        """Append one manifest edit covering all buffered structure changes
+        (plus current policy/meta state), then delete newly dead files."""
+        if self._closed:
+            raise DurabilityError(f"store at {self.data_dir} is closed")
+        edit: Dict[str, object] = {
+            "ops": self._pending_ops,
+            "checkpoint_seqno": self._flushed_seqno,
+        }
+        edit.update(self._meta_fields())
+        if self._pending_wal_head is not None:
+            edit["wal_head"] = self._pending_wal_head
+        t0 = perf_counter()
+        self._manifest.append_edit(edit)
+        self.telemetry["wall_manifest_s"] += perf_counter() - t0
+        self.telemetry["manifest_edits"] += 1
+        self.telemetry["commits"] += 1
+        self._state.apply_edit(edit)
+        self._pending_ops = []
+        self._pending_wal_head = None
+        # The edit is durable; dropped tables and covered WAL segments are
+        # now unreferenced by any recovery path.
+        for filename in self._pending_deletions:
+            path = os.path.join(self.data_dir, filename)
+            if os.path.exists(path):
+                os.unlink(path)
+        self._pending_deletions = []
+        checkpoint = self._state.checkpoint_seqno
+        for file_id in sorted(self._segment_max_seqno):
+            if (
+                file_id < self._wal_head_id
+                and self._segment_max_seqno[file_id] <= checkpoint
+            ):
+                path = segment_path(self.data_dir, file_id)
+                if os.path.exists(path):
+                    os.unlink(path)
+                del self._segment_max_seqno[file_id]
+        if self._manifest.edits_written >= self.rotate_manifest_every:
+            self._rotate_manifest()
+
+    def _rotate_manifest(self) -> None:
+        """Write a snapshot manifest and atomically repoint CURRENT at it."""
+        old = self._manifest
+        new_id = old.manifest_id + 1
+        writer = ManifestWriter(self.data_dir, new_id)
+        t0 = perf_counter()
+        writer.append_edit(self._state.snapshot_edit())
+        write_current(self.data_dir, new_id)
+        self.telemetry["wall_manifest_s"] += perf_counter() - t0
+        old.close()
+        os.unlink(old.path)
+        self._manifest = writer
+        self._manifest.edits_written = 0
+        self.telemetry["manifest_rotations"] += 1
+
+    def _commit_meta(self) -> None:
+        """Commit buffered edits (possibly none — policy metadata alone).
+
+        The checkpoint stays at ``_flushed_seqno``: a metadata commit
+        moves no data into SSTables, so it must not let the WAL tail
+        (acked ops still living only in the memtable) become deletable.
+        """
+        self._commit()
+
+    # ------------------------------------------------------------------
+    # Write path (WAL first, then the tree)
+    # ------------------------------------------------------------------
+    def _ack_wal_put(self, keys: np.ndarray, values: np.ndarray) -> int:
+        seq = self._next_seqno
+        t0 = perf_counter()
+        before = self._wal.bytes_appended
+        self._wal.append_put(seq, keys, values)
+        self._next_seqno = seq + len(keys)
+        self._wal.sync(self._next_seqno - 1)
+        self.telemetry["wall_wal_s"] += perf_counter() - t0
+        self.telemetry["wal_bytes"] += self._wal.bytes_appended - before
+        self.telemetry["wal_records"] += 1
+        self.telemetry["wal_syncs"] += 1
+        self._acked_seqno = self._next_seqno - 1
+        return seq
+
+    def _ack_wal_delete(self, keys: np.ndarray) -> int:
+        seq = self._next_seqno
+        t0 = perf_counter()
+        before = self._wal.bytes_appended
+        self._wal.append_delete(seq, keys)
+        self._next_seqno = seq + len(keys)
+        self._wal.sync(self._next_seqno - 1)
+        self.telemetry["wall_wal_s"] += perf_counter() - t0
+        self.telemetry["wal_bytes"] += self._wal.bytes_appended - before
+        self.telemetry["wal_records"] += 1
+        self.telemetry["wal_syncs"] += 1
+        self._acked_seqno = self._next_seqno - 1
+        return seq
+
+    @property
+    def acked_seqno(self) -> int:
+        """Highest sequence number covered by an fsync'd sync marker."""
+        return self._acked_seqno
+
+    def put(self, key: int, value: int) -> None:
+        self.put_batch(
+            np.array([key], dtype=np.int64), np.array([value], dtype=np.int64)
+        )
+
+    def delete(self, key: int) -> None:
+        keys = np.array([key], dtype=np.int64)
+        seq = self._ack_wal_delete(keys)
+        self._inflight_floor = seq - 1
+        self._tree.delete(int(key))
+        self._applied_seqno = self._inflight_floor = self._next_seqno - 1
+
+    def put_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have equal length")
+        if len(keys) == 0:
+            return
+        if (values == TOMBSTONE).any():
+            raise ValueError(
+                "value collides with the tombstone sentinel; "
+                f"use a value other than {TOMBSTONE}"
+            )
+        seq = self._ack_wal_put(keys, values)
+        # Conservative floor while this op is in flight: a flush mid-batch
+        # may only checkpoint the last op *fully* applied before it.
+        self._inflight_floor = seq - 1
+        self._tree.put_batch(keys, values)
+        self._applied_seqno = self._inflight_floor = self._next_seqno - 1
+
+    def bulk_load(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        distribute: bool = False,
+    ) -> None:
+        """Bulk-populate the empty store; runs land directly as SSTables
+        (no WAL traffic — there is nothing to replay)."""
+        self._tree.bulk_load(keys, values, distribute=distribute)
+        self._commit_meta()
+
+    # ------------------------------------------------------------------
+    # Read path (pure delegation — reads never touch the durable layer)
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[int]:
+        return self._tree.get(key)
+
+    def get_strict(self, key: int) -> int:
+        return self._tree.get_strict(key)
+
+    def get_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self._tree.get_batch(keys)
+
+    def range_lookup(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        return self._tree.range_lookup(lo, hi)
+
+    def range_scan(self, lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._tree.range_scan(lo, hi)
+
+    def range_scan_batch(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._tree.range_scan_batch(los, his)
+
+    # ------------------------------------------------------------------
+    # Mission windows / tuning surface (KVEngine contract)
+    # ------------------------------------------------------------------
+    def begin_mission(self) -> None:
+        self._tree.begin_mission()
+
+    def end_mission(self) -> MissionStats:
+        return self._tree.end_mission()
+
+    def tuning_targets(self) -> List["DurableStore"]:
+        """The store itself: tuners (and the serving write path) must go
+        through the WAL-wrapped surface, never the bare inner tree."""
+        return [self]
+
+    def last_mission_breakdown(self) -> List[MissionStats]:
+        return self._tree.last_mission_breakdown()
+
+    def policies(self) -> List[int]:
+        return self._tree.policies()
+
+    def apply_transition(
+        self, policies: Sequence[int], transition: TransitionKind
+    ) -> None:
+        self._tree.apply_transition(policies, transition)
+        self._commit_meta()
+
+    def named_policy(self) -> Optional[str]:
+        return self._tree.named_policy()
+
+    def apply_named_policy(
+        self,
+        policy: PolicyLike,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+    ) -> None:
+        self._tree.apply_named_policy(policy, transition)
+        self._commit_meta()
+
+    # Tuner-facing tree surface (tuning_targets() returns the store, so
+    # everything a Tuner reads or mutates on a "tree" must exist here).
+    @property
+    def levels(self):
+        return self._tree.levels
+
+    @property
+    def n_levels(self) -> int:
+        return self._tree.n_levels
+
+    def level(self, level_no: int):
+        return self._tree.level(level_no)
+
+    @property
+    def compaction_policy(self):
+        return self._tree.compaction_policy
+
+    @property
+    def memtable(self):
+        return self._tree.memtable
+
+    @property
+    def read_profiler(self):
+        return self._tree.read_profiler
+
+    def set_policy(
+        self, level_no: int, new_policy: int, transition: TransitionKind
+    ) -> None:
+        self._tree.set_policy(level_no, new_policy, transition)
+        self._commit_meta()
+
+    def set_policies(
+        self, new_policies: Sequence[int], transition: TransitionKind
+    ) -> None:
+        self._tree.set_policies(new_policies, transition)
+        self._commit_meta()
+
+    def set_named_policy(
+        self,
+        policy: PolicyLike,
+        transition: TransitionKind = TransitionKind.FLEXIBLE,
+    ) -> None:
+        self._tree.set_named_policy(policy, transition)
+        self._commit_meta()
+
+    def set_bits_per_key(self, bits_per_key: float) -> None:
+        self._tree.set_bits_per_key(bits_per_key)
+        self._commit_meta()
+
+    @property
+    def bits_per_key(self) -> float:
+        return self._tree.bits_per_key
+
+    def describe(self) -> List[Dict[str, object]]:
+        return self._tree.describe()
+
+    def read_amplification_snapshot(self) -> Dict[int, int]:
+        return self._tree.read_amplification_snapshot()
+
+    # ------------------------------------------------------------------
+    # Observability / introspection (KVEngine contract)
+    # ------------------------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        self._tree.set_tracer(tracer)
+
+    @property
+    def tracer(self):
+        return self._tree.tracer
+
+    @property
+    def stats(self):
+        return self._tree.stats
+
+    @property
+    def cache_hits(self) -> int:
+        return self._tree.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._tree.cache_misses
+
+    @property
+    def io_counters(self) -> IOCounters:
+        return self._tree.io_counters
+
+    @property
+    def clock_now(self) -> float:
+        return self._tree.clock_now
+
+    @property
+    def total_entries(self) -> int:
+        return self._tree.total_entries
+
+    def check_invariants(self) -> None:
+        self._tree.check_invariants()
+        for level_no, runs in self._state.files.items():
+            manifest_ids = [run_id for run_id, _ in runs]
+            tree_ids = [
+                run.run_id for run in self._tree.level(level_no).runs
+            ]
+            if manifest_ids != tree_ids:
+                raise DurabilityError(
+                    f"level {level_no}: manifest runs {manifest_ids} diverge "
+                    f"from tree runs {tree_ids}"
+                )
+            for _, filename in runs:
+                if not os.path.exists(os.path.join(self.data_dir, filename)):
+                    raise DurabilityError(
+                        f"live SSTable {filename} missing on disk"
+                    )
+
+    # ------------------------------------------------------------------
+    # Snapshot interop (repro.persist): a DurableStore can still checkpoint
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Whole-store snapshot (tree state + durable watermarks).
+
+        ``repro.persist`` stores this alongside the config and data_dir;
+        :meth:`load_state_dict` re-materializes the directory from it.
+        """
+        return {
+            "tree": self._tree.state_dict(),
+            "data_dir": self.data_dir,
+            "next_seqno": self._next_seqno,
+            "acked_seqno": self._acked_seqno,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore from a snapshot and re-materialize the directory.
+
+        The on-disk WAL/SSTables/manifest are replaced wholesale by the
+        snapshot's state: every run is rewritten as an SSTable, a fresh
+        manifest (and empty WAL) is installed, and the old generation's
+        files are removed — after this the directory recovers to exactly
+        the snapshot, not to whatever preceded the load.
+        """
+        observer = self._tree.change_observer
+        self._tree.set_change_observer(None)
+        try:
+            self._tree.load_state_dict(state["tree"])
+        finally:
+            self._tree.set_change_observer(observer)
+        self._next_seqno = int(state["next_seqno"])
+        self._acked_seqno = int(state["acked_seqno"])
+        self._applied_seqno = self._inflight_floor = self._next_seqno - 1
+        self._rematerialize()
+
+    def _rematerialize(self) -> None:
+        """Rebuild every durable file from the current in-memory tree."""
+        tree = self._tree
+        self._wal.close()
+        self._manifest.close()
+        old_files = [
+            name
+            for name in os.listdir(self.data_dir)
+            if name.endswith((".sst", ".tmp"))
+            or name.startswith(("wal-", "MANIFEST-"))
+        ]
+        new_state = ManifestState()
+        new_state.config_state = self._config_state(tree.config)
+        new_id = self._manifest.manifest_id + 1
+        kept: set = set()
+        for level in tree.levels:
+            for run in level.runs:
+                filename = _sstable_filename(run.run_id, level.level_no)
+                write_sstable(os.path.join(self.data_dir, filename), run)
+                new_state.files.setdefault(level.level_no, []).append(
+                    (run.run_id, filename)
+                )
+                kept.add(filename)
+        # Everything up to the snapshot is in SSTables *except* the
+        # memtable, which is journaled into the fresh WAL below under new
+        # seqnos — so the checkpoint sits just before them.
+        checkpoint = self._next_seqno - 1
+        new_state.checkpoint_seqno = checkpoint
+        new_state.wal_head = 1
+        new_state.n_levels = tree.n_levels
+        new_state.policies = [
+            (level.policy, level.pending_policy) for level in tree.levels
+        ]
+        new_state.named_policy = tree.named_policy()
+        new_state.next_run_id = tree._next_run_id
+        new_state.bits_per_key = tree.bits_per_key
+        writer = ManifestWriter(self.data_dir, new_id)
+        writer.append_edit(new_state.snapshot_edit())
+        write_current(self.data_dir, new_id)
+        for name in old_files:
+            if name in kept:
+                continue
+            path = os.path.join(self.data_dir, name)
+            if os.path.exists(path):
+                os.unlink(path)
+        self._manifest = writer
+        self._manifest.edits_written = 0
+        self._state = new_state
+        self._segment_max_seqno = {}
+        self._pending_ops = []
+        self._pending_deletions = []
+        self._pending_wal_head = None
+        self._wal = WalWriter(segment_path(self.data_dir, 1))
+        self._wal_head_id = 1
+        self._flushed_seqno = checkpoint
+        buffered = tree.memtable.range_items(MIN_KEY, MAX_KEY)
+        if buffered:
+            all_keys = np.fromiter(
+                buffered.keys(), dtype=np.int64, count=len(buffered)
+            )
+            all_values = np.fromiter(
+                buffered.values(), dtype=np.int64, count=len(buffered)
+            )
+            live = all_values != TOMBSTONE
+            if live.any():
+                self._ack_wal_put(all_keys[live], all_values[live])
+            if (~live).any():
+                self._ack_wal_delete(all_keys[~live])
+        self._applied_seqno = self._inflight_floor = self._next_seqno - 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the WAL and manifest (the store stays readable
+        on disk; reopen with ``DurableStore(data_dir)``)."""
+        if self._closed:
+            return
+        self._wal.close()
+        self._manifest.close()
+        self._closed = True
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableStore(dir={self.data_dir!r}, "
+            f"entries={self._tree.total_entries}, "
+            f"acked_seqno={self._acked_seqno})"
+        )

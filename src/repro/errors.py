@@ -74,3 +74,11 @@ class ObsError(ReproError):
     """The observability layer was misused (duplicate metric registration
     with a different shape, wrong label set, label-cardinality overflow,
     malformed exposition text)."""
+
+
+class DurabilityError(ReproError):
+    """The durable storage layer hit unrecoverable on-disk state (bad
+    magic/CRC in a live SSTable, a CURRENT pointer naming a missing
+    manifest, a manifest edit referencing a file that never made it to
+    disk) or was misused (writing to a closed WAL, reopening a live
+    directory with a mismatched configuration)."""

@@ -66,6 +66,15 @@ class LSMTree:
         #: Same contract as the profiler: host-clock only, zero simulated
         #: impact, one ``is None`` test per batch when disabled.
         self.tracer = None
+        #: Optional structure-change observer (attach via
+        #: :meth:`set_change_observer`). Notified synchronously whenever a
+        #: run is installed into or dropped from a level and when a
+        #: memtable flush (including its compaction cascade) completes.
+        #: The durable backend uses these hooks to mirror the in-memory
+        #: structure into SSTable files and manifest edits; like the
+        #: tracer, an observer must never touch simulated state (zero
+        #: sim impact, one ``is None`` test per mutation when disabled).
+        self.change_observer = None
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else StatsCollector()
         self.cache = LRUBlockCache(config.block_cache_pages)
@@ -90,6 +99,17 @@ class LSMTree:
         read/write entry points. ``ReadPathProfiler`` stage timers, when
         profiling is on, are absorbed as synthetic child spans."""
         self.tracer = tracer
+
+    def set_change_observer(self, observer) -> None:
+        """Attach (or detach with ``None``) a structure-change observer.
+
+        The observer receives ``run_installed(level_no, run,
+        replaced_run_id)``, ``runs_dropped(level_no, run_ids)`` and
+        ``flush_completed()`` callbacks, invoked synchronously at the
+        mutation sites. Observers are wall-clock-side only and must not
+        mutate the tree or charge simulated costs.
+        """
+        self.change_observer = observer
 
     def _profile_snapshot(self) -> Optional[Dict[str, float]]:
         """Per-stage profiler totals before a traced call (None when
@@ -299,6 +319,9 @@ class LSMTree:
         if len(keys) == 0:
             return
         self._admit(1, [(keys, values)], source_pages=0)
+        observer = self.change_observer
+        if observer is not None:
+            observer.flush_completed()
 
     def _admit(
         self,
@@ -349,6 +372,11 @@ class LSMTree:
         replaced = level.replace_active(new_run)
         if replaced is not None:
             self.disk.drop_run(replaced.run_id)
+        observer = self.change_observer
+        if observer is not None:
+            observer.run_installed(
+                level_no, new_run, None if replaced is None else replaced.run_id
+            )
 
         if level.is_full:
             self._merge_level_down(level_no)
@@ -368,8 +396,12 @@ class LSMTree:
         runs = list(level.runs)  # oldest → newest
         total_pages = sum(run.n_pages for run in runs)
         sources = [(run.keys, run.values) for run in runs]
-        for run in level.drop_all_runs():
+        dropped = level.drop_all_runs()
+        for run in dropped:
             self.disk.drop_run(run.run_id)
+        observer = self.change_observer
+        if observer is not None:
+            observer.runs_dropped(level_no, [run.run_id for run in dropped])
         self._admit(level_no + 1, sources, source_pages=total_pages)
 
     def force_merge_level(self, level_no: int) -> None:
@@ -401,12 +433,18 @@ class LSMTree:
         cost += self.disk.compaction_cpu(n_entries)
         cost += self.disk.sequential_write(self.config.pages_for_entries(len(keys)))
         self.stats.add_write(level_no, cost)
-        for run in level.drop_all_runs():
+        dropped = level.drop_all_runs()
+        for run in dropped:
             self.disk.drop_run(run.run_id)
+        observer = self.change_observer
+        if observer is not None:
+            observer.runs_dropped(level_no, [run.run_id for run in dropped])
         rebuilt = self._new_run(
             level, keys, values, capacity_entries=level.active_run_capacity()
         )
         level.replace_active(rebuilt)
+        if observer is not None:
+            observer.run_installed(level_no, rebuilt, None)
 
     # ------------------------------------------------------------------
     # Public read path
@@ -884,6 +922,7 @@ class LSMTree:
         while self.config.level_capacity_entries(bottom_no) < n:
             bottom_no += 1
         self._ensure_level(bottom_no)
+        observer = self.change_observer
         if not distribute:
             bottom = self.level(bottom_no)
             run = self._new_run(
@@ -891,6 +930,8 @@ class LSMTree:
                 capacity_entries=bottom.active_run_capacity(), sealed=True,
             )
             bottom.runs.append(run)
+            if observer is not None:
+                observer.run_installed(bottom_no, run, None)
             return
         # Steady-state layout: a long-running store keeps each shallow level
         # about half full on average (they drain into the next level every
@@ -937,6 +978,8 @@ class LSMTree:
                     sealed=True,
                 )
                 level.runs.append(run)
+                if observer is not None:
+                    observer.run_installed(level_no, run, None)
 
     # ------------------------------------------------------------------
     # Introspection & invariants

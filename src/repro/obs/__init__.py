@@ -29,6 +29,7 @@ from repro.obs.audit import (
     format_decision_timeline,
 )
 from repro.obs.collect import (
+    collect_durable_metrics,
     collect_engine_metrics,
     collect_server_metrics,
     collect_store_metrics,
@@ -56,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "collect_durable_metrics",
     "collect_engine_metrics",
     "collect_server_metrics",
     "collect_store_metrics",

@@ -110,6 +110,84 @@ def collect_engine_metrics(
     return registry
 
 
+def collect_durable_metrics(
+    store, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Registry view of a :class:`~repro.durable.store.DurableStore`:
+    engine metrics plus durability telemetry (WAL/SSTable/manifest byte
+    and record counters, wall-clock file-I/O seconds, and the last
+    recovery's replay summary).
+
+    Wall-clock series here are telemetry only — the simulated cost model
+    never sees file I/O, so these counters have zero simulated impact
+    (the same contract as the serve-path histograms).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    collect_engine_metrics(store, registry)
+    telemetry = store.telemetry
+    events = registry.counter(
+        "repro_durable_events",
+        "durable-store event counts (records, files, commits, orphans)",
+        labels=("op",),
+    )
+    for op in (
+        "wal_records",
+        "wal_syncs",
+        "wal_rotations",
+        "wal_records_replayed",
+        "sstables_written",
+        "manifest_edits",
+        "manifest_rotations",
+        "commits",
+        "orphans_removed",
+    ):
+        events.labels(op=op).inc(int(telemetry[op]))
+    written = registry.counter(
+        "repro_durable_bytes",
+        "bytes appended to durable files by kind",
+        labels=("op",),
+    )
+    written.labels(op="wal").inc(int(telemetry["wal_bytes"]))
+    written.labels(op="sstable").inc(int(telemetry["sstable_bytes"]))
+    wall = registry.counter(
+        "repro_durable_wall_seconds",
+        "host wall seconds spent on durable file I/O (telemetry only)",
+        labels=("op",),
+    )
+    wall.labels(op="wal").inc(float(telemetry["wall_wal_s"]))
+    wall.labels(op="sstable").inc(float(telemetry["wall_sstable_s"]))
+    wall.labels(op="manifest").inc(float(telemetry["wall_manifest_s"]))
+    wall.labels(op="recovery").inc(float(telemetry["wall_recovery_s"]))
+    registry.gauge(
+        "repro_durable_acked_seqno",
+        "highest WAL-acknowledged sequence number",
+    ).labels().set(int(store.acked_seqno))
+    report = store.last_recovery
+    if report is not None:
+        recovery = registry.gauge(
+            "repro_durable_recovery",
+            "summary of the most recent directory open/recovery",
+            labels=("op",),
+        )
+        recovery.labels(op="created").set(int(report.created))
+        recovery.labels(op="manifest_edits").set(int(report.manifest_edits))
+        recovery.labels(op="runs_opened").set(int(report.runs_opened))
+        recovery.labels(op="recovered_entries").set(
+            int(report.recovered_entries)
+        )
+        recovery.labels(op="wal_segments").set(int(report.wal_segments))
+        recovery.labels(op="wal_records_replayed").set(
+            int(report.wal_records_replayed)
+        )
+        recovery.labels(op="wal_ops_replayed").set(
+            int(report.wal_ops_replayed)
+        )
+        recovery.labels(op="wal_torn").set(int(report.wal_torn))
+        recovery.labels(op="manifest_torn").set(int(report.manifest_torn))
+        recovery.labels(op="orphans_removed").set(int(report.orphans_removed))
+    return registry
+
+
 def collect_tuner_metrics(
     tuners, registry: Optional[MetricsRegistry] = None
 ) -> MetricsRegistry:

@@ -189,16 +189,37 @@ def load_snapshot(
 # Engines
 # ----------------------------------------------------------------------
 def _classify_engine(engine: object) -> str:
+    # Imported lazily: repro.durable calls back into this module's config
+    # helpers, so neither package imports the other at module level.
+    from repro.durable.store import DurableStore
+
+    if isinstance(engine, DurableStore):
+        return "durable"
     for tag, cls in _ENGINE_TAGS:
         if isinstance(engine, cls):
             return tag
     raise SnapshotError(
         f"cannot snapshot engine of type {type(engine).__name__}; known "
-        f"kinds are {[tag for tag, _ in _ENGINE_TAGS]}"
+        f"kinds are {['durable'] + [tag for tag, _ in _ENGINE_TAGS]}"
     )
 
 
-def _build_engine(tag: str, config: SystemConfig, n_shards: int):
+def _build_engine(
+    tag: str,
+    config: SystemConfig,
+    n_shards: int,
+    engine_state: Optional[Dict[str, object]] = None,
+):
+    if tag == "durable":
+        from repro.durable.store import DurableStore
+
+        if not engine_state or "data_dir" not in engine_state:
+            raise SnapshotError(
+                "durable engine snapshot carries no data_dir to reopen"
+            )
+        # Re-materialization happens in load_state_dict; opening the
+        # directory here just establishes (or recovers) the store files.
+        return DurableStore(str(engine_state["data_dir"]), config)
     if tag == "sharded":
         return ShardedStore(config, n_shards)
     if tag == "flsm":
@@ -229,7 +250,7 @@ def load_engine(path: str):
     state = payload["state"]
     config = config_from_state(state["config"])
     engine = _build_engine(
-        state["engine_kind"], config, int(state["n_shards"])
+        state["engine_kind"], config, int(state["n_shards"]), state["engine"]
     )
     engine.load_state_dict(state["engine"])
     return engine
@@ -337,7 +358,9 @@ def store_from_snapshot(
     state = payload["state"]
     config = config_from_state(state["config"])
     n_shards = int(state["n_shards"])
-    engine = _build_engine(state["engine_kind"], config, n_shards)
+    engine = _build_engine(
+        state["engine_kind"], config, n_shards, state["store"]["engine"]
+    )
     n_targets = len(engine.tuning_targets())
     blueprints = state["tuner_blueprints"]
     shared = bool(state["store"]["tuners_shared"])

@@ -77,6 +77,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="close a mission window every N completed requests",
     )
     parser.add_argument(
+        "--backend",
+        choices=("memory", "durable"),
+        default="memory",
+        help="engine backend: in-memory sharded store (default) or the "
+        "durable WAL+SSTable store (requires --data-dir, single shard)",
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable store directory (created on first use; an existing "
+        "directory is recovered, replaying the WAL tail)",
+    )
+    parser.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -114,6 +128,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--shards must be >= 1")
     if args.clients < 1:
         parser.error("--clients must be >= 1")
+    if args.backend == "durable":
+        if args.data_dir is None:
+            parser.error("--backend durable requires --data-dir")
+        if args.shards != 1:
+            parser.error("--backend durable serves a single shard")
+    elif args.data_dir is not None:
+        parser.error("--data-dir only applies to --backend durable")
 
     scale = bench_scale()
     serving = serving_scale(scale)
@@ -152,6 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scale=scale,
         seed=args.seed,
         static_policy=args.static_policy,
+        backend=args.backend,
+        data_dir=args.data_dir,
     )
     tracer = None
     if args.trace:
@@ -186,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"checkpointed live engine to {args.checkpoint}", file=sys.stderr)
     finally:
         server.stop()
+        if args.backend == "durable":
+            server.engine.close()
 
     mode = "closed-loop" if args.closed_loop else f"open-loop @ {serving.rate:,.0f}/s"
     tuner = "Lerp-tuned" if args.tuned else f"static K={args.static_policy}"
@@ -211,6 +236,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"last window: {last.stats.n_operations} ops, "
             f"{last.stats.ops_per_second:,.0f} ops/s wall, "
             f"policies {last.policies}"
+        )
+    if args.backend == "durable":
+        t = server.engine.telemetry
+        print(
+            f"durable: {t['wal_records']} WAL records "
+            f"({t['wal_bytes']:,} bytes, {t['wal_syncs']} syncs), "
+            f"{t['sstables_written']} SSTables written, "
+            f"{t['commits']} manifest commits; data at {args.data_dir}"
         )
     if tracer is not None:
         written = tracer.export_jsonl(args.trace)

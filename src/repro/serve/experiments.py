@@ -108,6 +108,8 @@ def build_server(
     seed: int = 0,
     static_policy: int = 5,
     split_buffer: bool = True,
+    backend: str = "memory",
+    data_dir: Optional[str] = None,
 ) -> KVServer:
     """A loaded, not-yet-started server for one configuration.
 
@@ -115,7 +117,21 @@ def build_server(
     configuration runs under the same *total* memory budget — the fair
     control for shard-count comparisons (per-shard flushes become smaller
     and stall their lane for less wall time).
+
+    ``backend`` selects the engine: ``"memory"`` (the default
+    :class:`ShardedStore`) or ``"durable"``, which serves from a
+    :class:`~repro.durable.store.DurableStore` rooted at ``data_dir``
+    (WAL + SSTables + manifest; single shard only — the durable store is
+    one tree). A durable server survives ``kill -9``: acknowledged
+    writes are replayed from the WAL on the next open.
     """
+    if backend not in ("memory", "durable"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "durable":
+        if n_shards != 1:
+            raise ValueError("backend='durable' serves a single shard")
+        if not data_dir:
+            raise ValueError("backend='durable' requires a data_dir")
     scale = scale or bench_scale()
     serving = serving or serving_scale(scale)
     if config is None:
@@ -133,8 +149,15 @@ def build_server(
         workload = _default_workload(
             scale, seed, serving.n_ops, serving.mission_size
         )
-    engine = ShardedStore(config, n_shards)
-    engine.bulk_load(*workload.load_records(), distribute=True)
+    if backend == "durable":
+        from repro.durable.store import DurableStore
+
+        engine = DurableStore(data_dir, config)
+        if engine.total_entries == 0:  # fresh directory: seed the dataset
+            engine.bulk_load(*workload.load_records(), distribute=True)
+    else:
+        engine = ShardedStore(config, n_shards)
+        engine.bulk_load(*workload.load_records(), distribute=True)
     tuners: Sequence[Tuner]
     if tuned:
         # window_ops == 0 disables the background tuning loop but a Lerp

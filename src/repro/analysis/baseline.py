@@ -1,0 +1,83 @@
+"""Committed-baseline suppression layer.
+
+A baseline entry acknowledges a *known* finding — typically one that
+predates a new rule — without an inline pragma, so a rule can land
+strict while its backlog burns down. The file is committed at the repo
+root (``analysis_baseline.json``) and matched by fingerprint
+(:func:`repro.analysis.core.fingerprint_of`), which keys on the rule,
+module and normalized source text rather than the line number, so
+unrelated edits do not invalidate entries — but any change to the
+offending line itself does, forcing a fresh look.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ConfigError
+
+FORMAT_VERSION = 1
+
+
+class Baseline:
+    """In-memory view of the committed baseline file."""
+
+    def __init__(self, entries: list[dict] | None = None, path: str | None = None) -> None:
+        self.path = path
+        self.entries: list[dict] = list(entries or [])
+        self._by_fingerprint = {
+            str(entry.get("fingerprint", "")): entry for entry in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, fingerprint: str) -> dict | None:
+        return self._by_fingerprint.get(fingerprint)
+
+    @classmethod
+    def load(cls, path: str) -> Baseline:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            raise ConfigError(f"baseline entries must be a list in {path}")
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def load_or_empty(cls, path: str) -> Baseline:
+        if os.path.exists(path):
+            return cls.load(path)
+        return cls(path=path)
+
+    @classmethod
+    def from_findings(cls, findings, path: str | None = None) -> Baseline:
+        """Build a baseline acknowledging every given finding."""
+        entries = [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "module": finding.module,
+                "snippet": finding.snippet,
+                "justification": "baselined pre-existing finding",
+            }
+            for finding in findings
+        ]
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str | None = None) -> str:
+        target = path or self.path
+        if not target:
+            raise ConfigError("no path to save the baseline to")
+        payload = {"version": FORMAT_VERSION, "entries": self.entries}
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return target

@@ -1,0 +1,121 @@
+"""LOCK-ORDER: multi-lane locking goes through the ordered helper.
+
+Cross-shard operations in ``serve/`` (coalesced range batches, live
+checkpoints) must hold every lane lock at once. Two lanes doing that
+concurrently deadlock unless both acquire in the same global order —
+so the one sanctioned way to take multiple lane locks is
+:func:`repro.serve.locks.ordered_lane_locks`, which sorts by lane index
+and acquires ascending (DESIGN.md §7).
+
+The rule flags the ad-hoc shapes that bypass it:
+
+* any explicit ``.acquire()`` / ``.release()`` call outside the helper
+  module — hand-rolled acquisition loops are exactly how unordered
+  multi-lock creep starts (single-lock use belongs in a ``with``);
+* a ``with`` statement entering two or more lock-valued expressions;
+* a ``with`` on one lock nested lexically inside a ``with`` on a
+  *different* lock — the classic unordered double acquisition.
+
+A lock-valued expression is one whose final attribute name is ``lock``
+or ends in ``_lock``; plain mutexes guarding scalar counters keep their
+conventional names and stay in scope of the rule on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, ModuleInfo, Rule
+
+
+def _is_lock_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr == "lock" or node.attr.endswith("_lock")
+    if isinstance(node, ast.Name):
+        return node.id == "lock" or node.id.endswith("_lock")
+    return False
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure is cosmetic
+        return "<lock>"
+
+
+class LockOrderRule(Rule):
+    name = "LOCK-ORDER"
+    description = (
+        "multi-lane lock acquisition in serve/ must use "
+        "repro.serve.locks.ordered_lane_locks, never ad-hoc nesting or "
+        "explicit acquire() loops"
+    )
+    scopes = ("serve/",)
+    #: The ordered-acquisition helper is the one place allowed to call
+    #: ``acquire``/``release`` directly.
+    exclude = ("serve/locks.py",)
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("acquire", "release"):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"explicit `.{node.func.attr}()` in serve/; take "
+                            "single locks with `with`, and multi-lane locks "
+                            "through repro.serve.locks.ordered_lane_locks",
+                        )
+                    )
+        findings.extend(self._check_with_nesting(module))
+        findings.sort(key=lambda f: (f.line, f.col))
+        return findings
+
+    def _check_with_nesting(self, module: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+            now_held = held
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                lock_items = [
+                    item.context_expr
+                    for item in node.items
+                    if _is_lock_expr(item.context_expr)
+                ]
+                if len(lock_items) >= 2:
+                    texts = ", ".join(_expr_text(e) for e in lock_items)
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"one `with` acquires multiple locks ({texts}); "
+                            "use repro.serve.locks.ordered_lane_locks for "
+                            "ordered multi-lane acquisition",
+                        )
+                    )
+                for expr in lock_items:
+                    text = _expr_text(expr)
+                    outer = [h for h in held if h != text]
+                    if outer:
+                        findings.append(
+                            self.finding(
+                                module,
+                                expr,
+                                f"`with {text}` nested inside `with "
+                                f"{outer[-1]}` is unordered double lock "
+                                "acquisition; use "
+                                "repro.serve.locks.ordered_lane_locks",
+                            )
+                        )
+                    now_held = now_held + (text,)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # A nested function body does not run while the lock is
+                # held at definition time; analyze it with a clean stack.
+                now_held = ()
+            for child in ast.iter_child_nodes(node):
+                visit(child, now_held)
+
+        visit(module.tree, ())
+        return findings

@@ -44,6 +44,7 @@ from repro.errors import ConfigError, ServeError
 
 from repro.lsm.stats import MissionStats
 from repro.serve.latency import LatencyHistogram
+from repro.serve.locks import ordered_lane_locks
 
 #: Request kinds.
 REQ_GET = 0
@@ -403,9 +404,10 @@ class KVServer:
         same one-chunk reordering the offline :class:`MissionRunner` does.
         Range requests are *cross-shard* (hash partitioning does not
         preserve key order), so they run against the whole engine with
-        every lane lock held — acquired in index order, never while
-        holding this lane's own lock, so concurrent range-serving lanes
-        cannot deadlock. The drained ranges coalesce into one
+        every lane lock held — through
+        :func:`repro.serve.locks.ordered_lane_locks` (ascending index
+        order), never while holding this lane's own lock, so concurrent
+        range-serving lanes cannot deadlock. The drained ranges coalesce into one
         ``range_scan_batch`` call; each range request's ``result`` is its
         ``(keys, values)`` array pair, sorted by key.
         """
@@ -434,10 +436,7 @@ class KVServer:
                 for i, request in enumerate(reads):
                     request.result = int(values[i]) if found[i] else None
         if ranges:
-            locks = [other.lock for other in self.lanes]
-            for lock in locks:
-                lock.acquire()
-            try:
+            with ordered_lane_locks(self.lanes):
                 # One engine-wide batch per drain: the coalesced call
                 # counts and charges exactly like per-request
                 # range_lookup calls in drain order, but resolves run
@@ -457,9 +456,6 @@ class KVServer:
                         keys[bounds[i] : bounds[i + 1]],
                         values[bounds[i] : bounds[i + 1]],
                     )
-            finally:
-                for lock in reversed(locks):
-                    lock.release()
         now = time.perf_counter()
         for request in batch:
             request.t_done = now
@@ -570,22 +566,16 @@ class KVServer:
                 "repro.persist.save_engine on the engine directly"
             )
 
-        with self._window_mutex:  # no concurrent tuning-loop window cut
-            held = []
-            try:
-                for lane in self.lanes:
-                    lane.lock.acquire()
-                    held.append(lane)
-                parts = [lane.tree.end_mission() for lane in self.lanes]
-                save_engine(self.engine, path, meta={"live_server": True})
-                for lane in self.lanes:
-                    lane.tree.begin_mission()
-                self._append_window(
+        # _window_mutex blocks a concurrent tuning-loop window cut while the
+        # lanes are frozen in ascending order.
+        with self._window_mutex, ordered_lane_locks(self.lanes):
+            parts = [lane.tree.end_mission() for lane in self.lanes]
+            save_engine(self.engine, path, meta={"live_server": True})
+            for lane in self.lanes:
+                lane.tree.begin_mission()
+            self._append_window(
                     parts, [list(l.tree.policies()) for l in self.lanes]
                 )
-            finally:
-                for lane in held:
-                    lane.lock.release()
 
     # ------------------------------------------------------------------
     # Metrics

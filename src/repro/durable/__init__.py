@@ -24,12 +24,16 @@ still charged through :class:`~repro.storage.pager.DiskModel`; the wall
 time spent on real file I/O is telemetry only (PR 8 ``obs`` counters).
 """
 
+from repro.durable.atomio import atomic_file, fsync_dir, publish_bytes
 from repro.durable.manifest import ManifestState, ManifestWriter, read_manifest
 from repro.durable.sstable import read_sstable, write_sstable
 from repro.durable.store import DurableStore, RecoveryReport
 from repro.durable.wal import WalReader, WalWriter, replay_wal_bytes
 
 __all__ = [
+    "atomic_file",
+    "fsync_dir",
+    "publish_bytes",
     "DurableStore",
     "RecoveryReport",
     "ManifestState",

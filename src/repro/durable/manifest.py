@@ -43,6 +43,7 @@ import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.durable import faults
+from repro.durable.atomio import atomic_file
 from repro.errors import DurabilityError
 
 _FRAME = struct.Struct("<II")
@@ -227,34 +228,38 @@ class ManifestWriter:
 def write_current(directory: str, manifest_id: int) -> None:
     """Atomically repoint ``CURRENT`` at ``MANIFEST-<manifest_id>``.
 
-    Written to a temp file, fsynced, then ``os.replace``-d over CURRENT —
-    a crash at any point leaves a valid pointer (old or new, never torn).
+    Published through :func:`repro.durable.atomio.atomic_file` (temp
+    file, fsync, ``os.replace`` over CURRENT, directory fsync) — a crash
+    at any point leaves a valid pointer (old or new, never torn), and a
+    completed swap survives the crash.
     """
     target = current_path(directory)
-    tmp = target + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
+    with atomic_file(
+        target,
+        "w",
+        encoding="utf-8",
+        before_replace=lambda: faults.maybe_crash("manifest.swap"),
+    ) as fh:
         fh.write(MANIFEST_FMT.format(manifest_id) + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
-    faults.maybe_crash("manifest.swap")
-    os.replace(tmp, target)
 
 
 def read_current(directory: str) -> int:
     """Manifest id named by ``CURRENT``; raises when absent or malformed."""
     path = current_path(directory)
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             name = fh.read().strip()
     except FileNotFoundError:
-        raise DurabilityError(f"no CURRENT file in {directory}")
+        raise DurabilityError(f"no CURRENT file in {directory}") from None
     prefix, suffix = "MANIFEST-", ".log"
     if not (name.startswith(prefix) and name.endswith(suffix)):
         raise DurabilityError(f"CURRENT names an invalid manifest: {name!r}")
     try:
         manifest_id = int(name[len(prefix) : -len(suffix)])
     except ValueError:
-        raise DurabilityError(f"CURRENT names an invalid manifest: {name!r}")
+        raise DurabilityError(
+            f"CURRENT names an invalid manifest: {name!r}"
+        ) from None
     if not os.path.exists(manifest_path(directory, manifest_id)):
         raise DurabilityError(f"CURRENT names a missing manifest: {name!r}")
     return manifest_id

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.config import BloomMode
 from repro.durable import faults
+from repro.durable.atomio import atomic_file
 from repro.errors import DurabilityError
 from repro.lsm.run import SortedRun
 
@@ -93,9 +94,11 @@ def _bloom_block(run: SortedRun) -> "tuple[bytes, int]":
 def write_sstable(path: str, run: SortedRun) -> int:
     """Serialize ``run`` to ``path``; returns the file size in bytes.
 
-    The file is written to ``path + ".tmp"`` then renamed, so a crash
-    mid-write leaves at worst an orphan temp file, never a half-written
-    table under a live name (recovery deletes orphans).
+    Published through :func:`repro.durable.atomio.atomic_file`
+    (tmp → fsync → rename → directory fsync), so a crash mid-write
+    leaves at worst an orphan temp file, never a half-written table
+    under a live name (recovery deletes orphans), and the publish
+    itself survives the crash once this returns.
     """
     keys = np.ascontiguousarray(run.keys, dtype="<i8")
     values = np.ascontiguousarray(run.values, dtype="<i8")
@@ -137,8 +140,7 @@ def write_sstable(path: str, run: SortedRun) -> int:
     )
     footer = _FOOTER.pack(zlib.crc32(body), FOOTER_MAGIC)
 
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
+    with atomic_file(path) as fh:
         if faults.crash_hit("sst.partial"):
             # Injected mid-write crash: half the body, no footer, no rename.
             fh.write(body[: max(1, len(body) // 2)])
@@ -147,9 +149,6 @@ def write_sstable(path: str, run: SortedRun) -> int:
             faults.die()
         fh.write(body)
         fh.write(footer)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
     return len(body) + len(footer)
 
 

@@ -55,6 +55,7 @@ from repro.config import (
 from repro.core.lerp import Lerp, LerpConfig
 from repro.core.ruskey import RusKey
 from repro.core.tuners import Tuner
+from repro.durable.atomio import publish_bytes
 from repro.engine.sharded import ShardedStore
 from repro.errors import SnapshotError
 from repro.lsm.flsm import FLSMTree
@@ -130,8 +131,10 @@ def save_snapshot(
     state: Dict[str, object],
     meta: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Write ``state`` to ``path`` as a versioned snapshot (atomically:
-    the file is complete or absent, never half-written)."""
+    """Write ``state`` to ``path`` as a versioned snapshot (atomically
+    *and* durably via :mod:`repro.durable.atomio`: the published file is
+    complete or absent, never half-written, and both its bytes and the
+    rename are fsync'd before this returns)."""
     payload = {
         "magic": MAGIC,
         "format_version": FORMAT_VERSION,
@@ -141,21 +144,17 @@ def save_snapshot(
         "state": state,
     }
     path = os.fspath(path)
-    tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
-        with open(tmp_path, "wb") as fh:
-            pickle.dump(payload, fh, protocol=4)
-        os.replace(tmp_path, path)
-    except OSError as exc:
-        raise SnapshotError(f"cannot write snapshot to {path}: {exc}") from exc
+        blob = pickle.dumps(payload, protocol=4)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         raise SnapshotError(
             f"snapshot state for {path} is not serializable (state dicts "
             f"must hold only primitives and numpy arrays): {exc}"
         ) from exc
-    finally:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
+    try:
+        publish_bytes(path, blob, suffix=f".tmp.{os.getpid()}")
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot to {path}: {exc}") from exc
 
 
 def load_snapshot(

@@ -19,6 +19,10 @@ from repro.errors import ConfigError
 class WorkloadChangeDetector:
     """EMA-based shift detector over the mission lookup fraction."""
 
+    # Detection hyperparameters, re-supplied by the owning Lerp at
+    # reconstruction; only the mutable EMA/run-length state is snapshotted.
+    _snapshot_exempt = frozenset({"threshold", "ema_alpha", "consecutive"})
+
     def __init__(
         self,
         threshold: float = 0.12,

@@ -38,6 +38,10 @@ class BloomBudgetExtension(Tuner):
     compaction — evaluating a move needs a full window of missions.
     """
 
+    # Constructor configuration (identity + sweep schedule), rebuilt from
+    # the blueprint and never mutated after __init__.
+    _snapshot_exempt = frozenset({"name", "window", "step", "min_bits", "max_bits"})
+
     def __init__(
         self,
         base_tuner: Tuner,

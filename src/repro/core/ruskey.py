@@ -46,6 +46,10 @@ from repro.workload.spec import Mission, WorkloadSpec
 class RusKey:
     """A storage engine driven by (pluggable) tuning models."""
 
+    # config is the immutable blueprint; tree/tuner alias engine/tuners[0],
+    # both of which state_dict already serializes.
+    _snapshot_exempt = frozenset({"config", "tree", "tuner"})
+
     def __init__(
         self,
         config: Optional[SystemConfig] = None,

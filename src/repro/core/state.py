@@ -45,6 +45,10 @@ class RunningScale:
     the default of 0 freezes completely.
     """
 
+    # Hyperparameters fixed at construction (the owner's config re-supplies
+    # them); only the anchor value and sample count are mutable state.
+    _snapshot_exempt = frozenset({"alpha", "calibration_samples"})
+
     def __init__(
         self,
         alpha: float = 0.0,

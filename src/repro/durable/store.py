@@ -121,6 +121,18 @@ class DurableStore:
     with manifest commits wrapped around every mutation.
     """
 
+    # Durable state lives in the WAL/manifest/SSTables on disk, not in the
+    # pickle snapshot: the _pending_* accumulators and _segment_max_seqno
+    # map are re-derived by _recover() on reopen, config and
+    # rotate_manifest_every come from the blueprint, telemetry/_profile are
+    # injected observers, and last_recovery/_closed are per-process
+    # lifecycle flags.
+    _snapshot_exempt = frozenset({
+        "rotate_manifest_every", "_profile", "telemetry", "_pending_ops",
+        "_pending_deletions", "_pending_wal_head", "_segment_max_seqno",
+        "_closed", "last_recovery", "config",
+    })
+
     def __init__(
         self,
         data_dir: str,

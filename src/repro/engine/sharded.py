@@ -20,7 +20,7 @@ report for the same operations.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.lsm.rangepath import (
 from repro.lsm.stats import MissionStats, StatsCollector
 from repro.lsm.tree import LSMTree
 from repro.storage.pager import IOCounters
+
+if TYPE_CHECKING:  # obs depends on engine; annotate lazily to avoid a cycle
+    from repro.obs.trace import Tracer
 
 #: Fibonacci hashing multiplier (golden-ratio / 2^64, odd).
 _HASH_MULT = 0x9E3779B97F4A7C15
@@ -179,6 +182,10 @@ class ShardedStore:
     independent across shards).
     """
 
+    # config is the shared immutable blueprint; tracer is an injected
+    # observer re-attached by the embedding layer, excluded by design.
+    _snapshot_exempt = frozenset({"config", "tracer"})
+
     def __init__(
         self,
         config: SystemConfig,
@@ -203,9 +210,9 @@ class ShardedStore:
         self._last_breakdown: List[MissionStats] = []
         #: Optional span tracer (see :meth:`set_tracer`); store-level spans
         #: parent the per-shard ``lsm.*`` spans opened on the same thread.
-        self.tracer = None
+        self.tracer: Optional["Tracer"] = None
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: "Optional[Tracer]") -> None:
         """Attach (or detach with ``None``) a span tracer to this store
         *and* every shard tree, so a store-level batch span nests the
         per-shard spans it fans out to."""

@@ -115,6 +115,9 @@ class Level:
         "_lookup_cache",
     )
 
+    # Derived lookup index, rebuilt lazily from the runs on first use.
+    _snapshot_exempt = frozenset({"_lookup_cache"})
+
     def __init__(
         self,
         level_no: int,

@@ -40,6 +40,10 @@ class SortedRun:
         "_entries_per_page",
     )
 
+    # The filter is a pure function of (keys, fpr, run_id); from_state_dict
+    # rebuilds it bit-identically rather than serializing the bit array.
+    _snapshot_exempt = frozenset({"_bloom"})
+
     def __init__(
         self,
         run_id: int,

@@ -212,6 +212,9 @@ class StatsCollector:
         self._io_snapshot = io.snapshot()
         self._clock_snapshot = clock_now
         self._cache_snapshot = (int(cache_hits), int(cache_misses))
+        # repro: allow[SIM-PURITY] wall_duration is host-wall telemetry only;
+        # it never feeds back into SimClock, IO charges, or RL state, and is
+        # excluded from snapshots (MissionStats serialization drops it).
         self._wall_snapshot = time.perf_counter()
 
     def end_mission(
@@ -230,6 +233,8 @@ class StatsCollector:
         mission.sim_duration = clock_now - self._clock_snapshot
         mission.cache_hits = int(cache_hits) - self._cache_snapshot[0]
         mission.cache_misses = int(cache_misses) - self._cache_snapshot[1]
+        # repro: allow[SIM-PURITY] closing half of the wall-telemetry pair
+        # opened in begin_mission; reporting-only, outside the sim state.
         mission.wall_duration = time.perf_counter() - self._wall_snapshot
         mission.wall_duration_sum = mission.wall_duration
         self.completed.append(mission)

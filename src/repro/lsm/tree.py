@@ -47,6 +47,10 @@ from repro.storage.pager import DiskModel, IOCounters
 class LSMTree:
     """A simulated LSM-tree key-value store with per-level policies."""
 
+    # Injected observers (profiler / tracer / change feed) are wiring owned
+    # by the embedding layer and re-attached after load, never snapshotted.
+    _snapshot_exempt = frozenset({"read_profiler", "tracer", "change_observer"})
+
     def __init__(
         self,
         config: SystemConfig,

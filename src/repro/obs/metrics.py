@@ -253,6 +253,9 @@ class MetricsRegistry:
     """A named collection of metric families with associative merge and
     Prometheus-text / JSON exposition."""
 
+    # Process-local mutex, recreated fresh in every process.
+    _snapshot_exempt = frozenset({"_lock"})
+
     def __init__(self, default_max_series: int = DEFAULT_MAX_SERIES) -> None:
         self._families: Dict[str, MetricFamily] = {}
         self._lock = Lock()

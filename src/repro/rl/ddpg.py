@@ -68,6 +68,10 @@ class DDPGConfig:
 class DDPGAgent:
     """One actor-critic learner over a continuous action space."""
 
+    # config is the immutable blueprint; _rng aliases the Lerp-owned
+    # generator, whose bit-generator state Lerp serializes exactly once.
+    _snapshot_exempt = frozenset({"config", "_rng"})
+
     def __init__(self, config: DDPGConfig, rng: np.random.Generator) -> None:
         config.validate()
         self.config = config

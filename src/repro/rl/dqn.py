@@ -52,6 +52,10 @@ class DQNConfig:
 class DQNAgent:
     """ε-greedy Q-learner with a target network."""
 
+    # config is the immutable blueprint; _rng aliases the Lerp-owned
+    # generator, whose bit-generator state Lerp serializes exactly once.
+    _snapshot_exempt = frozenset({"config", "_rng"})
+
     def __init__(self, config: DQNConfig, rng: np.random.Generator) -> None:
         config.validate()
         self.config = config

@@ -108,6 +108,10 @@ class MLP:
     ``None`` (identity, e.g. critics) or ``"tanh"`` (actors).
     """
 
+    # layers holds the parameter arrays reached through params(), which
+    # state_dict copies in order; in_dim/out_dim are fixed architecture.
+    _snapshot_exempt = frozenset({"layers", "in_dim", "out_dim"})
+
     def __init__(
         self,
         in_dim: int,

@@ -13,6 +13,10 @@ class OrnsteinUhlenbeckNoise:
     ``dx = theta * (mu - x) dt + sigma * sqrt(dt) * N(0, 1)``
     """
 
+    # Hyperparameters fixed at construction plus the shared Lerp-owned RNG;
+    # only the evolving noise state vector is serialized.
+    _snapshot_exempt = frozenset({"mu", "theta", "dt", "_rng"})
+
     def __init__(
         self,
         action_dim: int,
@@ -63,6 +67,9 @@ class OrnsteinUhlenbeckNoise:
 
 class GaussianNoise:
     """Uncorrelated Gaussian exploration noise."""
+
+    # Stateless beyond hyperparameters; the RNG is the shared Lerp generator.
+    _snapshot_exempt = frozenset({"_dim", "_rng"})
 
     def __init__(
         self, action_dim: int, rng: np.random.Generator, sigma: float = 0.2

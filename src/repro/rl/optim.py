@@ -12,6 +12,10 @@ from repro.errors import RLError
 class SGD:
     """Plain stochastic gradient descent (kept for tests and ablations)."""
 
+    # _params/_grads alias the network's live arrays (serialized by MLP);
+    # lr is a constructor hyperparameter.
+    _snapshot_exempt = frozenset({"_params", "_grads", "lr"})
+
     def __init__(self, params: List[np.ndarray], grads: List[np.ndarray], lr: float) -> None:
         if lr <= 0:
             raise RLError(f"lr must be > 0, got {lr}")
@@ -36,6 +40,10 @@ class SGD:
 
 class Adam:
     """Adam (Kingma & Ba) over a fixed list of parameter arrays."""
+
+    # _params/_grads alias the network's live arrays (serialized by MLP);
+    # lr/beta1/beta2/eps are constructor hyperparameters.
+    _snapshot_exempt = frozenset({"_params", "_grads", "lr", "beta1", "beta2", "eps"})
 
     def __init__(
         self,

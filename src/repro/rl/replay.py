@@ -17,6 +17,9 @@ from repro.errors import RLError
 class ReplayBuffer:
     """Circular buffer of transitions with uniform sampling."""
 
+    # Shared Lerp-owned generator; its state is serialized once by Lerp.
+    _snapshot_exempt = frozenset({"_rng"})
+
     def __init__(
         self,
         capacity: int,

@@ -47,6 +47,10 @@ class LatencyHistogram:
     merge copies.
     """
 
+    # Bucket geometry derived deterministically from constructor arguments;
+    # only the counts array is mutable state.
+    _snapshot_exempt = frozenset({"n_buckets", "_log_min", "_scale"})
+
     def __init__(
         self,
         min_latency: float = DEFAULT_MIN_LATENCY,
@@ -271,7 +275,7 @@ class LatencyHistogram:
         try:
             scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
         except KeyError:
-            raise ValueError(f"unit must be s, ms or us, got {unit!r}")
+            raise ValueError(f"unit must be s, ms or us, got {unit!r}") from None
         return {
             f"{self._percentile_key(p)}_{unit}": self.quantile(p / 100.0) * scale
             for p in points
@@ -286,7 +290,7 @@ class LatencyHistogram:
         try:
             scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
         except KeyError:
-            raise ValueError(f"unit must be s, ms or us, got {unit!r}")
+            raise ValueError(f"unit must be s, ms or us, got {unit!r}") from None
         return " ".join(
             f"p{p:g}={self.quantile(p / 100.0) * scale:.3f}{unit}"
             for p in points

@@ -217,9 +217,8 @@ class TestMetricsRegistry:
 class TestTracer:
     def test_nesting_and_timing(self):
         tracer = Tracer()
-        with tracer.span("outer", kind="test") as outer:
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer", kind="test") as outer, tracer.span("inner"):
+            pass
         roots = tracer.spans()
         assert [r.name for r in roots] == ["outer"]
         assert [c.name for c in roots[0].children] == ["inner"]

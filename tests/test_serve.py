@@ -143,9 +143,8 @@ class TestRequestRouting:
 
     def test_start_twice_rejected(self):
         store, _ = loaded_store()
-        with KVServer(store) as server:
-            with pytest.raises(ServeError):
-                server.start()
+        with KVServer(store) as server, pytest.raises(ServeError):
+            server.start()
 
     def test_config_validation(self):
         store, _ = loaded_store()
